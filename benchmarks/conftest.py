@@ -1,0 +1,27 @@
+"""Benchmark-harness fixtures.
+
+Each bench regenerates one paper figure at the paper's scale, attaches
+the paper-vs-measured series to ``benchmark.extra_info`` (visible in
+``--benchmark-verbose`` / JSON output) and asserts the qualitative
+shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))  # make paper_data importable
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach a structured paper-vs-measured record to the bench report."""
+
+    def _record(**info: object) -> None:
+        for key, value in info.items():
+            benchmark.extra_info[key] = value
+
+    return _record

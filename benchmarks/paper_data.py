@@ -1,0 +1,94 @@
+"""Reference values digitized from the paper's figures.
+
+All bandwidths in GB/s; array sizes in MB as plotted (we map them to
+MiB). These are the numbers our simulated stack is calibrated against;
+the benches attach paper-vs-measured pairs to their reports and assert
+the *shapes* (orderings, crossovers, plateaus), not exact values.
+"""
+
+from __future__ import annotations
+
+from repro.units import MIB
+
+#: Fig 1a / Fig 2 array sizes as plotted (MB -> bytes, binary)
+FIG1A_SIZES_BYTES = [
+    1024,          # 0.001 MB
+    4096,          # 0.004
+    16384,         # 0.016
+    65536,         # 0.0625
+    262144,        # 0.25
+    1048576,       # 1
+    4 * MIB,       # 4
+    16 * MIB,      # 16
+    64 * MIB,      # 64
+]
+
+#: Fig 1a: copy kernel, contiguous, optimal loop mode, w=1
+FIG1A_PAPER = {
+    "aocl": [0.04, 0.14, 0.63, 1.14, 2.03, 2.23, 2.38, 2.53, 2.45],
+    "sdaccel": [0.03, 0.09, 0.21, 0.35, 0.53, 0.64, 0.70, 0.74, 0.76],
+    "cpu": [0.05, 0.19, 0.72, 2.52, 7.44, 18.16, 27.04, 25.24, 25.10],
+    "gpu": [0.14, 0.95, 3.71, 14.74, 50.13, 112.79, 173.72, 204.5, 203.87],
+}
+
+FIG1B_WIDTHS = [1, 2, 4, 8, 16]
+
+#: Fig 1b: copy kernel at 4 MB vs vector width
+FIG1B_PAPER = {
+    "aocl": [2.53, 4.61, 8.97, 14.85, 15.26],
+    "sdaccel": [0.74, 1.41, 2.47, 4.14, 6.27],
+    "cpu": [32.03, 34.58, 37.04, 34.52, 36.03],
+    "gpu": [173.72, 194.30, 201.06, 175.30, 117.37],
+}
+
+#: Fig 2: strided series (sizes as FIG1A; contiguous series == FIG1A)
+FIG2_STRIDED_PAPER = {
+    "aocl": [0.1, 0.2, 0.4, 0.7, 0.8, 1.7, 0.5, 0.4, 0.3],
+    "sdaccel": [0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01],
+    "cpu": [0.0, 0.2, 0.4, 0.8, 3.9, 5.6, 5.3, 0.8, 0.8],
+    "gpu": [0.1, 0.6, 2.5, 7.6, 18.2, 26.6, 29.4, 29.5, 27.3],
+}
+
+#: Fig 3 (KB/s in the paper; GB/s here): 4 MB copy per loop management.
+#: Values are approximate bar readings from the log-scale chart.
+FIG3_PAPER = {
+    # target: (ndrange, flat, nested)
+    "aocl": (0.3, 2.4, 2.2),
+    "sdaccel": (0.004, 0.1, 0.76),
+    "cpu": (27.0, 10.0, 10.0),
+    "gpu": (173.0, 0.012, 0.012),
+}
+
+#: Fig 4a: approximate bar readings (GB/s), 4 MB, all four kernels.
+FIG4A_PAPER = {
+    "aocl": {"copy": 2.4, "scale": 2.4, "add": 3.5, "triad": 3.5},
+    "sdaccel": {"copy": 0.76, "scale": 0.76, "add": 1.0, "triad": 1.0},
+    "cpu": {"copy": 27.0, "scale": 26.0, "add": 28.0, "triad": 28.0},
+    "gpu": {"copy": 174.0, "scale": 174.0, "add": 200.0, "triad": 200.0},
+}
+
+#: §IV experimental setup
+TARGETS_PAPER = {
+    "cpu": {"device": "Intel Xeon CPU E5-2609 v2", "peak_bw_gbs": 34.0},
+    "gpu": {"device": "GeForce GTX Titan Black", "peak_bw_gbs": 336.0},
+    "aocl": {"device": "Altera Stratix V GS D5", "peak_bw_gbs": 25.6},  # paper says "25"
+    "sdaccel": {"device": "Xilinx Virtex 7 XC7", "peak_bw_gbs": 10.0},
+}
+
+
+def pair_series(
+    measured: list[tuple[float, float]], paper: list[float]
+) -> list[dict[str, float]]:
+    """Zip measured (x, y) points with the paper's y values for reporting."""
+    out = []
+    for (x, y), ref in zip(measured, paper):
+        out.append({"x": x, "measured_gbs": round(y, 3), "paper_gbs": ref})
+    return out
+
+
+def within_factor(measured: float, paper: float, factor: float) -> bool:
+    """Shape check: the measured value is within `factor`x of the paper's."""
+    if paper == 0:
+        return True
+    lo, hi = paper / factor, paper * factor
+    return lo <= measured <= hi

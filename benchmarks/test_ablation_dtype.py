@@ -1,0 +1,41 @@
+"""Ablation: the §III data-type knob (int vs double).
+
+Doubles halve the element count but double the element size; on
+memory-bound kernels the bandwidth should stay within a modest factor
+of the int numbers on every target, with the FPGAs gaining (wider
+elements mean wider per-cycle transfers, like vectorization by 2).
+"""
+
+from __future__ import annotations
+
+from repro import figures
+
+TARGETS = ("aocl", "sdaccel", "cpu", "gpu")
+KERNELS = ("copy", "scale", "add", "triad")
+
+
+def test_ablation_dtype(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.ablation_dtype(ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        dtype={
+            name: [(KERNELS[int(x)], round(y, 3)) for x, y in pts]
+            for name, pts in series.items()
+        }
+    )
+
+    for target in TARGETS:
+        ints = dict(series[f"{target}-int"])
+        doubles = dict(series[f"{target}-double"])
+        for i in range(len(KERNELS)):
+            x = float(i)
+            assert 0.3 * ints[x] < doubles[x] < 4 * ints[x], (target, KERNELS[i])
+
+    # FPGAs: double ~ 2x int bandwidth on the copy kernel (wider element)
+    for target in ("aocl", "sdaccel"):
+        ints = dict(series[f"{target}-int"])
+        doubles = dict(series[f"{target}-double"])
+        assert doubles[0.0] > 1.5 * ints[0.0], target

@@ -1,0 +1,35 @@
+"""Ablation: the §IV data pre-shaping observation.
+
+"If there are multiple strided accesses to the same array ... it may be
+worthwhile re-arranging data at the host to convert subsequent strided
+accesses to contiguous accesses." This bench quantifies that: the
+break-even pass count after which one host-side transpose pays for
+itself, per target.
+"""
+
+from __future__ import annotations
+
+from repro import figures
+
+
+def test_ablation_preshaping(benchmark, record):
+    out = benchmark.pedantic(
+        lambda: figures.ablation_preshaping(ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        preshaping=[
+            {"target": t, **{k: round(v, 3) for k, v in row.items()}}
+            for t, row in out.items()
+        ]
+    )
+
+    # pre-shaping pays off quickly wherever strided access collapses
+    for target in ("aocl", "sdaccel", "gpu"):
+        row = out[target]
+        assert row["speedup"] > 2.0, target
+        assert row["breakeven_passes"] < 10, target
+
+    # the harder the strided collapse, the bigger the win
+    assert out["sdaccel"]["speedup"] > out["cpu"]["speedup"]

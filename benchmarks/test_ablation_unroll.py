@@ -1,0 +1,32 @@
+"""Ablation: the §III loop-unroll knob (no figure in the paper).
+
+On a burst-capable FPGA pipeline, unrolling the flat loop widens the
+LSUs exactly like vectorization, so bandwidth should scale up and then
+saturate at the DRAM limit; on a blocking-LSU toolchain (SDAccel flat
+loops) unrolling buys nothing.
+"""
+
+from __future__ import annotations
+
+from repro import figures
+
+
+def test_ablation_unroll(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.ablation_unroll(
+            factors=(1, 2, 4, 8, 16), targets=("aocl", "sdaccel"), ntimes=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(unroll={t: [(x, round(y, 3)) for x, y in pts] for t, pts in series.items()})
+
+    aocl = dict(series["aocl"])
+    assert aocl[8.0] > 3 * aocl[1.0], "unroll should widen AOCL's burst LSUs"
+    ys = [aocl[float(u)] for u in (1, 2, 4, 8, 16)]
+    assert ys == sorted(ys)
+
+    sdaccel = dict(series["sdaccel"])
+    assert sdaccel[16.0] < 2 * sdaccel[1.0], (
+        "a blocking LSU gains little from unrolling"
+    )

@@ -1,0 +1,67 @@
+"""Extension: energy efficiency (the paper's declared future-work axis).
+
+§IV predicts FPGAs "can still win" on energy despite losing on raw
+bandwidth. Shape claims measured here:
+
+* the GPU has the highest GB/s on every kernel;
+* the *vectorized* AOCL FPGA has the highest GB per joule;
+* the efficiency win only exists after tuning — an unvectorized FPGA
+  kernel is both slow AND inefficient (static power dominates).
+"""
+
+from __future__ import annotations
+
+from repro.core import BenchmarkRunner, TuningParameters, optimal_loop_for
+from repro.devices.energy import energy_report
+from repro.units import MIB
+
+TARGETS = ("aocl", "sdaccel", "cpu", "gpu")
+
+
+def _survey():
+    rows = {}
+    for target in TARGETS:
+        runner = BenchmarkRunner(target, ntimes=3)
+        width = 16 if target in ("aocl", "sdaccel") else 1
+        naive = runner.run(
+            TuningParameters(array_bytes=4 * MIB, loop=optimal_loop_for(target))
+        )
+        tuned = runner.run(
+            TuningParameters(
+                array_bytes=4 * MIB,
+                loop=optimal_loop_for(target),
+                vector_width=width,
+            )
+        )
+        rows[target] = {
+            "naive_gbs": naive.bandwidth_gbs,
+            "naive_gbj": energy_report(naive).gb_per_joule,
+            "tuned_gbs": tuned.bandwidth_gbs,
+            "tuned_gbj": energy_report(tuned).gb_per_joule,
+            "avg_power_w": energy_report(tuned).average_power_w,
+        }
+    return rows
+
+
+def test_energy_efficiency(benchmark, record):
+    rows = benchmark.pedantic(_survey, rounds=1, iterations=1)
+    record(
+        energy=[
+            {"target": t, **{k: round(v, 3) for k, v in r.items()}}
+            for t, r in rows.items()
+        ]
+    )
+
+    # GPU wins bandwidth...
+    assert rows["gpu"]["tuned_gbs"] > max(
+        rows[t]["tuned_gbs"] for t in TARGETS if t != "gpu"
+    )
+    # ...the vectorized AOCL FPGA wins efficiency
+    assert rows["aocl"]["tuned_gbj"] > max(
+        rows[t]["tuned_gbj"] for t in TARGETS if t != "aocl"
+    )
+    # tuning is a precondition: naive FPGA efficiency loses to the GPU
+    assert rows["aocl"]["naive_gbj"] < rows["gpu"]["naive_gbj"]
+    # and power draws stay physically sensible
+    for t, r in rows.items():
+        assert 5 < r["avg_power_w"] < 400, t

@@ -1,0 +1,69 @@
+"""Extension: the paper's outlook targets (HMC board, matured toolchain).
+
+§IV predicts (a) HMC-equipped FPGA boards "can change the picture ...
+considerably" and (b) maturing toolchains will "show more consistent
+memory performance that takes into account different coding styles".
+Shape claims measured on the hypothetical targets:
+
+* the HMC board more than doubles the Stratix V's best sustained
+  bandwidth and lifts the strided floor by an order of magnitude;
+* the matured toolchain collapses SDAccel's Fig 3 spread: flat, nested
+  and NDRange land within a small factor of each other.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AccessPattern,
+    BenchmarkRunner,
+    LoopManagement,
+    TuningParameters,
+)
+from repro.units import MIB
+
+
+def _survey():
+    out = {}
+    tuned = TuningParameters(
+        array_bytes=4 * MIB, loop=LoopManagement.FLAT, vector_width=16
+    )
+    strided = TuningParameters(
+        array_bytes=4 * MIB, loop=LoopManagement.FLAT, pattern=AccessPattern.STRIDED
+    )
+    for target in ("aocl", "aocl-hmc"):
+        runner = BenchmarkRunner(target, ntimes=3)
+        out[target] = {
+            "tuned_gbs": runner.run(tuned).bandwidth_gbs,
+            "strided_gbs": runner.run(strided).bandwidth_gbs,
+        }
+    for target in ("sdaccel", "sdaccel-mature"):
+        runner = BenchmarkRunner(target, ntimes=3)
+        out[target] = {
+            mode.value: runner.run(
+                TuningParameters(array_bytes=4 * MIB, loop=mode)
+            ).bandwidth_gbs
+            for mode in LoopManagement
+        }
+    return out
+
+
+def test_future_targets(benchmark, record):
+    rows = benchmark.pedantic(_survey, rounds=1, iterations=1)
+    record(
+        future={
+            t: {k: round(v, 3) for k, v in r.items()} for t, r in rows.items()
+        }
+    )
+
+    # HMC changes the picture: bandwidth and stride tolerance
+    assert rows["aocl-hmc"]["tuned_gbs"] > 1.5 * rows["aocl"]["tuned_gbs"]
+    assert rows["aocl-hmc"]["strided_gbs"] > 5 * rows["aocl"]["strided_gbs"]
+
+    # matured toolchain: coding-style spread collapses
+    old = rows["sdaccel"]
+    new = rows["sdaccel-mature"]
+    old_spread = max(old.values()) / min(old.values())
+    new_spread = max(new.values()) / min(new.values())
+    assert old_spread > 50  # the paper's Fig 3 gulf
+    assert new_spread < 10  # "more consistent memory performance"
+    assert new["flat"] > 5 * old["flat"]

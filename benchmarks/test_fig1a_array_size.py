@@ -1,0 +1,49 @@
+"""Fig 1a: COPY bandwidth vs array size on all four targets.
+
+Regenerates the paper's first figure at the paper's sizes (1 KB–64 MB
+per array) and checks its shape claims:
+
+* bandwidth grows monotonically with array size and plateaus by ~4 MB;
+* the sustained ordering is GPU > CPU > AOCL > SDAccel;
+* each plateau lands within 2x of the paper's measured value.
+"""
+
+from __future__ import annotations
+
+from paper_data import FIG1A_PAPER, FIG1A_SIZES_BYTES, pair_series, within_factor
+
+from repro import figures
+from repro.units import MIB
+
+
+def test_fig1a_array_size(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.fig1a_array_size(sizes=FIG1A_SIZES_BYTES, ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    for target, points in series.items():
+        record(**{f"fig1a_{target}": pair_series(points, FIG1A_PAPER[target])})
+
+    # shape 1: monotone rise to a plateau
+    for target, points in series.items():
+        ys = [y for _, y in points]
+        assert ys == sorted(ys), f"{target} bandwidth should rise with size"
+        plateau_at_4mb = dict(points)[4 * MIB / MIB]
+        # the GPU still gains ~15% past 4 MB (the paper shows the same)
+        assert plateau_at_4mb > 0.7 * ys[-1], (
+            f"{target} should be near its plateau by 4 MB"
+        )
+
+    # shape 2: sustained ordering across targets
+    last = {t: pts[-1][1] for t, pts in series.items()}
+    assert last["gpu"] > last["cpu"] > last["aocl"] > last["sdaccel"]
+
+    # shape 3: plateaus within 2x of the paper
+    for target, points in series.items():
+        measured = dict(points)[4.0]
+        assert within_factor(measured, FIG1A_PAPER[target][6], 2.0), (
+            f"{target}@4MB: measured {measured:.2f} vs paper "
+            f"{FIG1A_PAPER[target][6]:.2f}"
+        )

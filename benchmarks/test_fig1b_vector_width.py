@@ -1,0 +1,44 @@
+"""Fig 1b: COPY bandwidth vs vector width (memory coalescing) at 4 MB.
+
+Shape claims checked:
+
+* vectorization carries both FPGA targets toward their DRAM limits
+  (>4x gain from width 1 to width 16);
+* the CPU barely moves (<1.5x);
+* the GPU *loses* bandwidth at width 16 relative to its width-4 peak.
+"""
+
+from __future__ import annotations
+
+from paper_data import FIG1B_PAPER, FIG1B_WIDTHS, pair_series, within_factor
+
+from repro import figures
+
+
+def test_fig1b_vector_width(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.fig1b_vector_width(widths=FIG1B_WIDTHS, ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    for target, points in series.items():
+        record(**{f"fig1b_{target}": pair_series(points, FIG1B_PAPER[target])})
+
+    by = {t: dict(pts) for t, pts in series.items()}
+
+    # FPGAs gain the most
+    assert by["aocl"][16.0] > 4 * by["aocl"][1.0]
+    assert by["sdaccel"][16.0] > 4 * by["sdaccel"][1.0]
+    # CPU nearly flat
+    assert by["cpu"][16.0] < 1.5 * by["cpu"][1.0]
+    # GPU drops at 16
+    assert by["gpu"][16.0] < 0.8 * by["gpu"][4.0]
+
+    # every point within 2x of the paper's value
+    for target in series:
+        for width, paper in zip(FIG1B_WIDTHS, FIG1B_PAPER[target]):
+            measured = by[target][float(width)]
+            assert within_factor(measured, paper, 2.0), (
+                f"{target}@w{width}: {measured:.2f} vs paper {paper:.2f}"
+            )

@@ -1,0 +1,65 @@
+"""Fig 2: contiguous vs strided (column-major 2-D walk) across sizes.
+
+Shape claims checked:
+
+* strided never beats contiguous, on any target at any size;
+* SDAccel's strided series collapses to ~0.01 GB/s, flat;
+* CPU and GPU strided series show a cache-reuse bump at mid sizes and
+  fall once the reuse window leaves the cache;
+* AOCL's strided floor sits far below its contiguous plateau.
+"""
+
+from __future__ import annotations
+
+from paper_data import (
+    FIG1A_PAPER,
+    FIG1A_SIZES_BYTES,
+    FIG2_STRIDED_PAPER,
+    pair_series,
+)
+
+from repro import figures
+
+
+def test_fig2_contiguity(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.fig2_contiguity(sizes=FIG1A_SIZES_BYTES, ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    for target in ("aocl", "sdaccel", "cpu", "gpu"):
+        record(
+            **{
+                f"fig2_{target}_contig": pair_series(
+                    series[f"{target}-contig"], FIG1A_PAPER[target]
+                ),
+                f"fig2_{target}_strided": pair_series(
+                    series[f"{target}-strided"], FIG2_STRIDED_PAPER[target]
+                ),
+            }
+        )
+
+    # strided <= contiguous pointwise
+    for target in ("aocl", "sdaccel", "cpu", "gpu"):
+        contig = dict(series[f"{target}-contig"])
+        strided = dict(series[f"{target}-strided"])
+        for x, y in strided.items():
+            if x in contig:
+                assert y <= contig[x] * 1.05, f"{target}@{x}MB"
+
+    # sdaccel flatlines near 0.01 GB/s at all non-tiny sizes
+    sd = [y for x, y in series["sdaccel-strided"] if x >= 0.25]
+    assert max(sd) < 0.05
+
+    # cpu/gpu cache bump: mid-size strided beats the largest size by >2x
+    for target in ("cpu", "gpu"):
+        strided = dict(series[f"{target}-strided"])
+        mid = max(strided[x] for x in strided if 0.25 <= x <= 4)
+        tail = strided[max(strided)]
+        assert mid > 2 * tail, f"{target} strided should collapse at large sizes"
+
+    # aocl floor far below its contiguous plateau
+    aocl_strided_tail = dict(series["aocl-strided"])[64.0]
+    aocl_contig_tail = dict(series["aocl-contig"])[64.0]
+    assert aocl_strided_tail < 0.4 * aocl_contig_tail

@@ -1,0 +1,68 @@
+"""Fig 3: the three loop-management styles on all four targets.
+
+Shape claims checked:
+
+* CPU and GPU are fastest with an NDRange kernel;
+* both FPGA targets are fastest with a single work-item kernel;
+* SDAccel shows the paper's anomaly: the *nested* 2-D loop beats the
+  flat loop by a wide margin (inner-loop burst inference);
+* single-work-item kernels on the GPU are orders of magnitude slow.
+"""
+
+from __future__ import annotations
+
+from paper_data import FIG3_PAPER, within_factor
+
+from repro import figures
+
+TARGETS = ("aocl", "sdaccel", "cpu", "gpu")
+
+
+def test_fig3_loop_management(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.fig3_loop_management(ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+    nd = dict(series["ndrange-kernel"])
+    flat = dict(series["kernel-loop-flat"])
+    nested = dict(series["kernel-loop-nested"])
+
+    rows = []
+    for i, target in enumerate(TARGETS):
+        p_nd, p_flat, p_nested = FIG3_PAPER[target]
+        rows.append(
+            {
+                "target": target,
+                "ndrange_gbs": round(nd[float(i)], 4),
+                "flat_gbs": round(flat[float(i)], 4),
+                "nested_gbs": round(nested[float(i)], 4),
+                "paper_ndrange": p_nd,
+                "paper_flat": p_flat,
+                "paper_nested": p_nested,
+            }
+        )
+    record(fig3=rows)
+
+    aocl, sdaccel, cpu, gpu = 0.0, 1.0, 2.0, 3.0
+
+    # CPU/GPU: NDRange wins
+    assert nd[cpu] > flat[cpu] and nd[cpu] > nested[cpu]
+    assert nd[gpu] > flat[gpu] and nd[gpu] > nested[gpu]
+
+    # FPGAs: single work-item wins
+    assert max(flat[aocl], nested[aocl]) > nd[aocl]
+    assert max(flat[sdaccel], nested[sdaccel]) > nd[sdaccel]
+
+    # SDAccel nested-loop anomaly
+    assert nested[sdaccel] > 3 * flat[sdaccel]
+
+    # GPU single work-item is catastrophic (orders of magnitude)
+    assert flat[gpu] < nd[gpu] / 1000
+
+    # magnitudes within 3x of the paper's (log-scale) bars
+    for i, target in enumerate(TARGETS):
+        p_nd, p_flat, p_nested = FIG3_PAPER[target]
+        assert within_factor(nd[float(i)], p_nd, 3.0), (target, "ndrange")
+        assert within_factor(flat[float(i)], p_flat, 3.0), (target, "flat")
+        assert within_factor(nested[float(i)], p_nested, 3.0), (target, "nested")

@@ -1,0 +1,58 @@
+"""Fig 4a: all four STREAM kernels on all four targets at 4 MB.
+
+Shape claims checked:
+
+* every kernel is memory-bound: per target, the four kernels land
+  within a small factor of each other;
+* the cross-target ordering from Fig 1 holds for every kernel;
+* magnitudes stay within 2x of the paper's bars.
+"""
+
+from __future__ import annotations
+
+from paper_data import FIG4A_PAPER, within_factor
+
+from repro import figures
+
+TARGETS = ("aocl", "sdaccel", "cpu", "gpu")
+
+
+def test_fig4a_all_kernels(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.fig4a_all_kernels(ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = {}
+    for kernel, points in series.items():
+        by_target = {TARGETS[int(x)]: y for x, y in points}
+        table[kernel] = by_target
+    record(
+        fig4a=[
+            {
+                "target": t,
+                **{k: round(table[k][t], 3) for k in table},
+                **{f"paper_{k}": FIG4A_PAPER[t][k] for k in table},
+            }
+            for t in TARGETS
+        ]
+    )
+
+    # memory-bound: kernels within 3x of each other per target
+    for target in TARGETS:
+        values = [table[k][target] for k in table]
+        assert max(values) < 3 * min(values), target
+
+    # cross-target ordering holds for every kernel
+    for kernel in table:
+        row = table[kernel]
+        assert row["gpu"] > row["cpu"] > row["aocl"] > row["sdaccel"], kernel
+
+    # magnitudes within 2x of the paper
+    for target in TARGETS:
+        for kernel in table:
+            assert within_factor(table[kernel][target], FIG4A_PAPER[target][kernel], 2.0), (
+                target,
+                kernel,
+            )

@@ -1,0 +1,51 @@
+"""§III stream source/destination: host<->device (PCIe) bandwidth.
+
+The paper lists host↔device streams as a tuning axis without plotting
+them; this bench fills the gap. Shape claims:
+
+* small transfers are latency-bound, large transfers approach the
+  link's protocol-limited peak;
+* every accelerator's PCIe bandwidth sits far below its global-memory
+  bandwidth at 4 MB (the reason kernels should keep data resident).
+"""
+
+from __future__ import annotations
+
+from paper_data import FIG1A_SIZES_BYTES
+
+from repro import figures
+from repro.core import BenchmarkRunner, TuningParameters, optimal_loop_for
+from repro.units import MIB
+
+TARGETS = ("gpu", "aocl", "sdaccel")
+
+
+def test_pcie_streams(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: figures.pcie_streams(sizes=FIG1A_SIZES_BYTES, targets=TARGETS, ntimes=3),
+        rounds=1,
+        iterations=1,
+    )
+    record(pcie={t: [(x, round(y, 3)) for x, y in pts] for t, pts in series.items()})
+
+    for target, points in series.items():
+        ys = [y for _, y in points]
+        assert ys == sorted(ys), f"{target}: PCIe bandwidth should rise with size"
+        assert ys[0] < 0.3, f"{target}: small transfers should be latency-bound"
+
+    # a well-tuned (vectorized) kernel beats PCIe streaming on every
+    # accelerator at 4 MB -- the reason to keep data device-resident
+    for target in TARGETS:
+        device_bw = (
+            BenchmarkRunner(target, ntimes=2)
+            .run(
+                TuningParameters(
+                    array_bytes=4 * MIB,
+                    loop=optimal_loop_for(target),
+                    vector_width=16,
+                )
+            )
+            .bandwidth_gbs
+        )
+        pcie_bw = dict(series[target])[4.0]
+        assert pcie_bw < device_bw, target

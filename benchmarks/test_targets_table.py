@@ -1,0 +1,20 @@
+"""§IV experimental-setup table: the four targets and their peaks."""
+
+from __future__ import annotations
+
+from paper_data import TARGETS_PAPER
+
+from repro import figures
+
+
+def test_targets_table(benchmark, record):
+    rows = benchmark.pedantic(figures.targets_table, rounds=1, iterations=1)
+    record(targets=rows)
+    by_target = {r["target"]: r for r in rows}
+    assert set(by_target) == set(TARGETS_PAPER)
+    for target, paper in TARGETS_PAPER.items():
+        row = by_target[target]
+        assert abs(row["peak_bw_gbs"] - paper["peak_bw_gbs"]) <= 0.6
+        # identity strings match the paper's device names
+        for token in paper["device"].split()[:2]:
+            assert token.lower() in str(row["device"]).lower(), (target, token)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Automated design-space exploration of an FPGA memory architecture.
+
+The paper's motivating use case: a compiler (or an engineer) needs to
+pick kernel-code parameters for an FPGA target *before* spending hours
+in synthesis. This example sweeps the MP-STREAM tuning space on the
+simulated Stratix V (AOCL) and Virtex-7 (SDAccel) targets:
+
+* loop management x vector width x unroll factor,
+* plus the AOCL vendor knobs (SIMD work-items, compute units),
+
+then reports the best configuration found, what it costs in FPGA
+resources, and how far it sits from the board's peak bandwidth.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, ParameterSweep, TuningParameters, explore
+from repro.core import LoopManagement, results_table
+from repro.units import MIB, format_bandwidth
+
+
+def explore_target(target: str) -> None:
+    print(f"=== {target}: generic design space " + "=" * 30)
+    runner = BenchmarkRunner(target, ntimes=3)
+    base = TuningParameters(array_bytes=4 * MIB, loop=LoopManagement.FLAT)
+    sweep = ParameterSweep(
+        base=base,
+        axes={
+            "loop": list(LoopManagement),
+            "vector_width": [1, 2, 4, 8, 16],
+            "unroll": [1, 4],
+        },
+    )
+    results = explore(runner, sweep)
+    ok = results.ok()
+    failed = [r for r in results if not r.ok]
+
+    print(
+        results_table(
+            ok,
+            columns=["loop", "vector_width", "unroll", "bandwidth_gbs", "validated"],
+        )
+    )
+    for changes, reason in sweep.skipped:
+        print(f"  (skipped {changes}: {reason.splitlines()[0]})")
+    for r in failed:
+        print(f"  (failed  {r.params.describe()}: {r.error.splitlines()[0]})")
+
+    best = results.best()
+    assert best is not None
+    peak = runner.device.info()["peak_global_bandwidth_gbs"]
+    print(
+        f"\nbest configuration: {best.params.describe()}\n"
+        f"  sustained {format_bandwidth(best.bandwidth_gbs * 1e9)} "
+        f"of {peak} GB/s peak "
+        f"({100 * best.bandwidth_gbs / float(peak):.1f}%)"
+    )
+    if "resources" in best.detail:
+        print(f"  resources: {best.detail['resources']}")
+    if "fmax_hz" in best.detail:
+        print(f"  kernel clock: {best.detail['fmax_hz'] / 1e6:.1f} MHz")
+    print()
+
+
+def explore_aocl_vendor_knobs() -> None:
+    print("=== aocl: vendor knobs vs native vectorization " + "=" * 18)
+    runner = BenchmarkRunner("aocl", ntimes=3)
+    rows = []
+    for n in (1, 2, 4, 8, 16):
+        vec = runner.run(
+            TuningParameters(
+                array_bytes=4 * MIB, loop=LoopManagement.FLAT, vector_width=n
+            )
+        )
+        simd = runner.run(
+            TuningParameters(
+                array_bytes=4 * MIB,
+                loop=LoopManagement.NDRANGE,
+                reqd_work_group_size=256,
+                num_simd_work_items=n,
+            )
+        )
+        cu = runner.run(
+            TuningParameters(
+                array_bytes=4 * MIB,
+                loop=LoopManagement.NDRANGE,
+                reqd_work_group_size=256,
+                num_compute_units=n,
+            )
+        )
+        rows.append((n, vec, simd, cu))
+
+    print(f"{'N':>3} {'vector':>10} {'simd':>10} {'compute-units':>14}")
+    for n, vec, simd, cu in rows:
+        def fmt(r):
+            return f"{r.bandwidth_gbs:8.2f}" if r.ok else "   (fail)"
+
+        print(f"{n:>3} {fmt(vec):>10} {fmt(simd):>10} {fmt(cu):>14}")
+    print(
+        "\ntakeaway (matches the paper): native OpenCL vectorization scales\n"
+        "further and more predictably than the vendor-specific knobs, and\n"
+        "uses less of the FPGA fabric doing it.\n"
+    )
+
+
+def main() -> None:
+    explore_target("aocl")
+    explore_target("sdaccel")
+    explore_aocl_vendor_knobs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""The paper's outlook, made runnable: energy efficiency and new memory.
+
+§IV of the paper names two things it did *not* evaluate:
+
+1. energy efficiency — "one area where FPGAs can still win in spite of
+   the higher achievable bandwidths on GPUs";
+2. Hybrid Memory Cube FPGA boards and maturing OpenCL toolchains —
+   which "can change the picture we present in this paper considerably".
+
+This example quantifies both with the reproduction's models:
+
+* bytes-per-joule for each target at its best configuration (and at the
+  naive one — efficiency needs tuning too);
+* the same benchmark on two hypothetical targets: the Stratix V behind
+  an HMC stack, and the Virtex-7 behind a 2018-class toolchain;
+* a roofline placement for every configuration, confirming that all of
+  this is (and stays) memory-bound.
+
+Run:  python examples/energy_and_future_targets.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, TuningParameters, find_device
+from repro.core import (
+    AccessPattern,
+    LoopManagement,
+    generate,
+    optimal_loop_for,
+    roofline_point,
+)
+from repro.devices.energy import ENERGY_SPECS, EnergySpec, energy_report
+from repro.oclc import analyze, compile_source
+from repro.units import MIB
+
+ARRAY = 4 * MIB
+
+
+def best_params(target: str) -> TuningParameters:
+    loop = optimal_loop_for(target.split("-")[0])
+    width = 16 if target.startswith(("aocl", "sdaccel")) else 1
+    return TuningParameters(array_bytes=ARRAY, loop=loop, vector_width=width)
+
+
+def energy_section() -> None:
+    print("1. energy efficiency (GB moved per joule), 4 MiB COPY")
+    print("-" * 64)
+    print(f"{'target':9s} {'naive GB/s':>11} {'naive GB/J':>11} "
+          f"{'tuned GB/s':>11} {'tuned GB/J':>11}")
+    for target in ("aocl", "sdaccel", "cpu", "gpu"):
+        runner = BenchmarkRunner(target, ntimes=3)
+        naive = runner.run(
+            TuningParameters(array_bytes=ARRAY, loop=optimal_loop_for(target))
+        )
+        tuned = runner.run(best_params(target))
+        e_naive = energy_report(naive)
+        e_tuned = energy_report(tuned)
+        print(
+            f"{target:9s} {naive.bandwidth_gbs:>11.2f} {e_naive.gb_per_joule:>11.3f} "
+            f"{tuned.bandwidth_gbs:>11.2f} {e_tuned.gb_per_joule:>11.3f}"
+        )
+    print(
+        "\n-> the GPU moves bytes fastest, but the *vectorized* FPGA moves\n"
+        "   them cheapest — and an unvectorized FPGA wins nothing at all.\n"
+    )
+
+
+def future_section() -> None:
+    print("2. future targets: HMC memory and a matured toolchain")
+    print("-" * 64)
+    rows = [
+        ("aocl", "today: DDR3 board"),
+        ("aocl-hmc", "hypothetical: 4-link HMC board"),
+        ("sdaccel", "today: 2015.1 toolchain"),
+        ("sdaccel-mature", "hypothetical: matured toolchain"),
+    ]
+    for target, label in rows:
+        base = target.split("-")[0]
+        runner = BenchmarkRunner(target, ntimes=3)
+        peak = float(find_device(target).info()["peak_global_bandwidth_gbs"])
+        tuned = runner.run(best_params(base))
+        strided = runner.run(
+            best_params(base).with_(
+                pattern=AccessPattern.STRIDED, vector_width=1
+            )
+        )
+        flat = runner.run(
+            TuningParameters(array_bytes=ARRAY, loop=LoopManagement.FLAT)
+        )
+        print(
+            f"{target:15s} ({label})\n"
+            f"   tuned {tuned.bandwidth_gbs:7.2f} GB/s of {peak} peak | "
+            f"flat w=1 {flat.bandwidth_gbs:6.2f} | "
+            f"strided {strided.bandwidth_gbs:6.3f}"
+        )
+    print(
+        "\n-> HMC triples the tuned bandwidth and softens the strided\n"
+        "   collapse (vault parallelism); the matured toolchain erases the\n"
+        "   coding-style sensitivity that Fig 3 documents.\n"
+    )
+
+
+def roofline_section() -> None:
+    from repro.core import KernelName
+
+    print("3. roofline placement (is anything compute-bound?)")
+    print("-" * 64)
+    for target in ("aocl", "sdaccel", "cpu", "gpu"):
+        params = best_params(target).with_(kernel=KernelName.TRIAD)
+        if target in ("aocl", "sdaccel"):
+            # three wide LSUs of a 3-array kernel overflow the fabric at
+            # width 16; width 8 is the widest TRIAD that fits both parts
+            params = params.with_(vector_width=8)
+        result = BenchmarkRunner(target, ntimes=3).run(params)
+        gen = generate(params)
+        ir = analyze(
+            compile_source(gen.source, {k: str(v) for k, v in gen.defines.items()}),
+            gen.kernel_name,
+        )
+        spec = find_device(target).model.spec
+        print("  " + roofline_point(result, ir, spec).summary())
+    print(
+        "\n-> every STREAM configuration sits on the memory roof on every\n"
+        "   target: exactly why a *memory* benchmark drives this DSE."
+    )
+
+
+def main() -> None:
+    # register energy specs for the hypothetical boards too
+    ENERGY_SPECS.setdefault(
+        "aocl-hmc",
+        EnergySpec("aocl-hmc", static_w=22.0, transfer_j_per_byte=11e-12,
+                   alu_j_per_op=5e-12),  # HMC's famous pJ/bit advantage
+    )
+    ENERGY_SPECS.setdefault(
+        "sdaccel-mature",
+        EnergySpec("sdaccel-mature", static_w=10.0, transfer_j_per_byte=62e-12,
+                   alu_j_per_op=5e-12),
+    )
+    energy_section()
+    future_section()
+    roofline_section()
+
+
+if __name__ == "__main__":
+    main()

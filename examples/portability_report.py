@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Performance portability report: one kernel source, four targets.
+
+The paper's closing observation is that OpenCL is source-portable but
+not performance-portable. This example makes that concrete: it takes
+*one* fixed kernel configuration (the style a CPU/GPU programmer would
+naturally write — NDRange, scalar types) and runs it unchanged on all
+four targets; then it lets each target use its own tuned configuration
+and reports how much performance the "portable" version leaves behind.
+
+It also prints the host<->device (PCIe) rates and — as a reality
+anchor — a real numpy STREAM measurement of the machine running this
+script.
+
+Run:  python examples/portability_report.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, TuningParameters
+from repro.core import LoopManagement, StreamLocus, optimal_loop_for
+from repro.hoststream import run_host_stream
+from repro.units import MIB
+
+ARRAY = 4 * MIB
+TARGETS = ("aocl", "sdaccel", "cpu", "gpu")
+
+
+def tuned_params(target: str) -> TuningParameters:
+    """Per-target best practice from the paper's experiments."""
+    loop = optimal_loop_for(target)
+    width = 16 if target in ("aocl", "sdaccel") else 1
+    return TuningParameters(array_bytes=ARRAY, loop=loop, vector_width=width)
+
+
+def main() -> None:
+    portable = TuningParameters(array_bytes=ARRAY, loop=LoopManagement.NDRANGE)
+    print(f"kernel: COPY at {ARRAY // MIB} MiB per array\n")
+    header = (
+        f"{'target':9s} {'portable (NDRange, w=1)':>24} {'tuned':>12} "
+        f"{'left behind':>12} {'peak':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for target in TARGETS:
+        runner = BenchmarkRunner(target, ntimes=3)
+        naive = runner.run(portable)
+        tuned = runner.run(tuned_params(target))
+        peak = float(runner.device.info()["peak_global_bandwidth_gbs"])
+        gap = tuned.bandwidth_gbs / naive.bandwidth_gbs if naive.ok else float("inf")
+        print(
+            f"{target:9s} {naive.bandwidth_gbs:>20.2f} GB/s "
+            f"{tuned.bandwidth_gbs:>7.2f} GB/s "
+            f"{gap:>10.1f}x {peak:>6.1f}"
+        )
+
+    print("\nhost<->device streams (PCIe), 4 MiB transfers:")
+    for target in ("gpu", "aocl", "sdaccel"):
+        r = BenchmarkRunner(target, ntimes=3).run(
+            TuningParameters(array_bytes=ARRAY, locus=StreamLocus.HOST)
+        )
+        print(f"  {target:9s} {r.bandwidth_gbs:6.2f} GB/s")
+
+    print("\nreal numpy STREAM on THIS machine (for scale):")
+    host = run_host_stream(array_bytes=64 * MIB, ntimes=5)
+    for kernel, r in host.items():
+        print(f"  {kernel.value:6s} {r.bandwidth_gbs:7.2f} GB/s")
+
+    print(
+        "\ntakeaway (matches the paper): the same OpenCL source spans two\n"
+        "orders of magnitude across targets, and the FPGA targets need\n"
+        "target-specific loop styles and vector widths to approach their\n"
+        "(already modest) peaks."
+    )
+
+
+if __name__ == "__main__":
+    main()

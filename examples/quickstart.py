@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run the four STREAM kernels on every simulated target.
+
+This is the MP-STREAM "hello world": enumerate the simulated platforms,
+run COPY/SCALE/ADD/TRIAD at 4 MB per array with each target's optimal
+loop management, and print the classic STREAM table per device.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, TuningParameters, get_platforms, optimal_loop_for
+from repro.core import stream_table
+from repro.units import MIB
+
+
+def main() -> None:
+    print("Simulated OpenCL platforms")
+    print("=" * 64)
+    for platform in get_platforms():
+        for device in platform.devices:
+            info = device.info()
+            print(
+                f"  [{device.short_name:8s}] {info['name']}\n"
+                f"             peak {info['peak_global_bandwidth_gbs']} GB/s, "
+                f"{info['max_compute_units']} compute unit(s)"
+            )
+    print()
+
+    for platform in get_platforms():
+        for device in platform.devices:
+            params = TuningParameters(
+                array_bytes=4 * MIB,
+                loop=optimal_loop_for(device),
+            )
+            runner = BenchmarkRunner(device, ntimes=5)
+            results = runner.run_all_kernels(params)
+            print(f"--- {device.short_name}: {device.name}")
+            print(f"    ({params.describe()})")
+            print(stream_table(results))
+            print()
+
+
+if __name__ == "__main__":
+    main()

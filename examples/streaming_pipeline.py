@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Double-buffered streaming: hiding PCIe time behind kernels.
+
+MP-STREAM's host<->device "stream locus" shows the interconnect is far
+slower than device DRAM. For workloads whose data lives on the host,
+the standard remedy is a double-buffered pipeline on an out-of-order
+queue: while the kernel chews on chunk *i*, the DMA engine uploads
+chunk *i+1*. This example streams a large host-resident dataset through
+the COPY kernel three ways and compares end-to-end throughput:
+
+* **serial** — in-order queue: upload, run, download, repeat;
+* **pipelined** — out-of-order queue with event dependencies;
+* **device-resident** — the upper bound when data never crosses PCIe.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import find_device
+from repro.ocl import CommandQueue, Context, Program
+from repro.units import MIB, format_bandwidth
+
+CHUNK_WORDS = 1 << 20  # 4 MiB per chunk
+CHUNKS = 16
+
+# each target gets its best coding style (the lesson of Fig 3 / Fig 1b)
+NDRANGE_SRC = """
+__kernel void copy_k(__global const int *a, __global int *c) {
+    size_t i = get_global_id(0);
+    c[i] = a[i];
+}
+"""
+FLAT_VEC_SRC = """
+__kernel void copy_k(__global const int16 *a, __global int16 *c) {
+    for (int i = 0; i < N; i++)
+        c[i] = a[i];
+}
+"""
+
+
+def kernel_source(target: str) -> tuple[str, dict, int]:
+    """(source, defines, global_size) in each target's optimal style."""
+    if target in ("aocl", "sdaccel"):
+        return FLAT_VEC_SRC, {"N": CHUNK_WORDS // 16}, 1
+    return NDRANGE_SRC, {}, CHUNK_WORDS
+
+
+def stream(target: str, *, pipelined: bool) -> float:
+    """Stream CHUNKS chunks; returns end-to-end seconds."""
+    device = find_device(target)
+    ctx = Context(device)
+    queue = CommandQueue(ctx, device, out_of_order=pipelined)
+    src, defines, gsize = kernel_source(target)
+    program = Program(ctx, src).build(defines=defines)
+    pairs = [
+        (
+            ctx.create_buffer(size=4 * CHUNK_WORDS),
+            ctx.create_buffer(size=4 * CHUNK_WORDS),
+        )
+        for _ in range(2)
+    ]
+    data = np.arange(CHUNK_WORDS, dtype=np.int32)
+    out = np.empty(CHUNK_WORDS, dtype=np.int32)
+    last_kernel = [None, None]
+    for i in range(CHUNKS):
+        pair = i % 2
+        a, c = pairs[pair]
+        prev = last_kernel[pair]
+        upload = queue.enqueue_write_buffer(
+            a, data, wait_for=[prev] if (pipelined and prev) else None
+        )
+        kernel = program.create_kernel("copy_k").set_args(a=a, c=c)
+        ev = queue.enqueue_nd_range_kernel(
+            kernel, (gsize,), wait_for=[upload] if pipelined else None
+        )
+        queue.enqueue_read_buffer(c, out, wait_for=[ev] if pipelined else None)
+        last_kernel[pair] = ev
+    assert np.array_equal(out, data)
+    return queue.finish()
+
+
+def device_resident(target: str) -> float:
+    device = find_device(target)
+    ctx = Context(device)
+    queue = CommandQueue(ctx, device)
+    src, defines, gsize = kernel_source(target)
+    program = Program(ctx, src).build(defines=defines)
+    a = ctx.create_buffer(hostbuf=np.arange(CHUNK_WORDS, dtype=np.int32))
+    a.residency = "device"
+    c = ctx.create_buffer(size=4 * CHUNK_WORDS)
+    kernel = program.create_kernel("copy_k").set_args(a=a, c=c)
+    for _ in range(CHUNKS):
+        queue.enqueue_nd_range_kernel(kernel, (gsize,))
+    return queue.finish()
+
+
+def main() -> None:
+    total_bytes = 2 * 4 * CHUNK_WORDS * CHUNKS  # copy counts read+write
+    print(
+        f"streaming {CHUNKS} x {4 * CHUNK_WORDS // MIB} MiB chunks "
+        f"through the COPY kernel\n"
+    )
+    header = f"{'target':9s} {'serial':>14} {'pipelined':>14} {'resident':>14} {'overlap gain':>13}"
+    print(header)
+    print("-" * len(header))
+    for target in ("gpu", "aocl", "sdaccel"):
+        t_serial = stream(target, pipelined=False)
+        t_pipe = stream(target, pipelined=True)
+        t_res = device_resident(target)
+        fmt = lambda t: format_bandwidth(total_bytes / t / 1)  # noqa: E731
+        print(
+            f"{target:9s} {fmt(t_serial):>14} {fmt(t_pipe):>14} "
+            f"{fmt(t_res):>14} {t_serial / t_pipe:>12.2f}x"
+        )
+    print(
+        "\ntakeaway: when kernel time and transfer time are comparable,\n"
+        "overlap nearly doubles throughput; where one side dominates\n"
+        "(the GPU kernel outruns PCIe; SDAccel's kernel is slower than\n"
+        "PCIe) the pipeline converges to the slower stage, and device\n"
+        "residency remains the real answer."
+    )
+
+
+if __name__ == "__main__":
+    main()

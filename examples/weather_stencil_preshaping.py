@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Data pre-shaping for a time-stepping scientific workload.
+
+The paper's §IV observation: "if data is accessed repeatedly across
+many iterations, as is common [in] scientific applications e.g. in case
+of a time loop over space in a weather model, then there is a strong
+case ... for pre-shaping that data."
+
+We model exactly that: a weather-like kernel sweeps a 2-D field once
+per time step. The field's layout is row-major, but this phase of the
+model consumes it column-by-column (think: a vertical-physics sweep
+after a horizontal-dynamics phase wrote it row-wise). Two strategies:
+
+* **naive** — run the column-major (strided) walk every time step;
+* **pre-shaped** — transpose once on the host (paying one extra
+  read+write of the field over PCIe-resident memory at the contiguous
+  rate), then run contiguous walks for all remaining steps.
+
+The example computes the break-even step count and total campaign time
+for both strategies on each target.
+
+Run:  python examples/weather_stencil_preshaping.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, TuningParameters
+from repro.core import AccessPattern, KernelName, optimal_loop_for
+from repro.units import MIB, format_time
+
+FIELD_BYTES = 16 * MIB  # one 2k x 2k field of float32
+TIME_STEPS = 100
+
+
+def measure(target: str) -> dict[str, float]:
+    runner = BenchmarkRunner(target, ntimes=3)
+    loop = optimal_loop_for(target)
+    # the sweep kernel reads the field and writes a derived field: TRIAD
+    # is the closest STREAM proxy (read two fields, write one is ADD; we
+    # use COPY's 2-array traffic for the per-step sweep)
+    strided = runner.run(
+        TuningParameters(
+            array_bytes=FIELD_BYTES,
+            kernel=KernelName.COPY,
+            pattern=AccessPattern.STRIDED,
+            loop=loop,
+        )
+    )
+    contig = runner.run(
+        TuningParameters(
+            array_bytes=FIELD_BYTES, kernel=KernelName.COPY, loop=loop
+        )
+    )
+    if not (strided.ok and contig.ok):
+        raise RuntimeError(f"{target}: {strided.error or contig.error}")
+    t_strided = strided.min_time
+    t_contig = contig.min_time
+    # one transpose = read + write the field at the contiguous rate
+    t_transpose = 2 * FIELD_BYTES / (contig.bandwidth_gbs * 1e9 / 2)
+    naive_total = TIME_STEPS * t_strided
+    preshaped_total = t_transpose + TIME_STEPS * t_contig
+    gain_per_step = t_strided - t_contig
+    breakeven = t_transpose / gain_per_step if gain_per_step > 0 else float("inf")
+    return {
+        "t_strided": t_strided,
+        "t_contig": t_contig,
+        "t_transpose": t_transpose,
+        "naive_total": naive_total,
+        "preshaped_total": preshaped_total,
+        "breakeven_steps": breakeven,
+        "campaign_speedup": naive_total / preshaped_total,
+    }
+
+
+def main() -> None:
+    print(
+        f"weather-model sweep: {FIELD_BYTES // MIB} MiB field, "
+        f"{TIME_STEPS} time steps\n"
+    )
+    header = (
+        f"{'target':9s} {'strided/step':>13} {'contig/step':>12} "
+        f"{'transpose':>10} {'break-even':>11} {'campaign speedup':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    for target in ("aocl", "sdaccel", "cpu", "gpu"):
+        m = measure(target)
+        print(
+            f"{target:9s} {format_time(m['t_strided']):>13} "
+            f"{format_time(m['t_contig']):>12} "
+            f"{format_time(m['t_transpose']):>10} "
+            f"{m['breakeven_steps']:>9.1f} it "
+            f"{m['campaign_speedup']:>16.1f}x"
+        )
+    print(
+        "\ntakeaway (matches the paper): wherever strided access collapses\n"
+        "(every target, catastrophically on the FPGAs), one host-side\n"
+        "transpose amortizes within a handful of time steps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""setup.py shim for environments without the `wheel` package.
+
+`pip install -e .` requires building a wheel with modern pip; on an
+offline machine without `wheel` installed, `python setup.py develop`
+performs the equivalent editable install from pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,505 @@
+"""The ``mp-stream`` command-line interface.
+
+Mirrors the original benchmark's build-script flags::
+
+    mp-stream devices
+    mp-stream run --target aocl --kernel copy --size 4MiB --vec 8
+    mp-stream sweep --target sdaccel --axis vector_width=1,2,4,8,16
+    mp-stream figure fig1b
+    mp-stream host-stream --size 64MiB
+    mp-stream source --kernel triad --loop nested --vec 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import figures
+from .core import (
+    AccessPattern,
+    BenchmarkRunner,
+    DataType,
+    KernelName,
+    LoopManagement,
+    ParameterSweep,
+    StreamLocus,
+    TuningParameters,
+    ascii_chart,
+    explore,
+    generate,
+    results_table,
+    series_table,
+    stream_table,
+)
+from .errors import ReproError
+from .ocl.platform import get_platforms
+from .units import format_bandwidth, format_size, parse_size
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig1a": lambda: figures.fig1a_array_size(),
+    "fig1b": lambda: figures.fig1b_vector_width(),
+    "fig2": lambda: figures.fig2_contiguity(),
+    "fig3": lambda: figures.fig3_loop_management(),
+    "fig4a": lambda: figures.fig4a_all_kernels(),
+    "fig4b": lambda: figures.fig4b_aocl_optimizations(),
+    "pcie": lambda: figures.pcie_streams(),
+    "unroll": lambda: figures.ablation_unroll(),
+    "dtype": lambda: figures.ablation_dtype(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mp-stream",
+        description="MP-STREAM: memory-performance design-space exploration "
+        "on simulated heterogeneous targets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated platforms and devices")
+
+    run = sub.add_parser("run", help="run the benchmark at one parameter point")
+    _add_point_args(run)
+    run.add_argument("--all-kernels", action="store_true", help="run all four kernels")
+    run.add_argument("--ntimes", type=int, default=5)
+    run.add_argument("--csv", metavar="PATH", help="append results to a CSV file")
+    run.add_argument(
+        "--save", metavar="PATH", help="append results to a JSONL history file"
+    )
+
+    sweep = sub.add_parser("sweep", help="cartesian design-space sweep")
+    _add_point_args(sweep)
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="sweep axis, e.g. vector_width=1,2,4,8,16 (repeatable)",
+    )
+    sweep.add_argument("--ntimes", type=int, default=3)
+    sweep.add_argument("--csv", metavar="PATH")
+    sweep.add_argument(
+        "--save", metavar="PATH", help="append results to a JSONL history file"
+    )
+
+    fig = sub.add_parser("figure", help="reproduce a paper figure")
+    fig.add_argument("name", choices=sorted(_FIGURES) + ["targets"])
+    fig.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
+    fig.add_argument("--csv", metavar="PATH", help="write the series as CSV")
+
+    host = sub.add_parser("host-stream", help="run real numpy STREAM on this host")
+    host.add_argument("--size", default="64MiB")
+    host.add_argument("--ntimes", type=int, default=10)
+
+    source = sub.add_parser("source", help="print the generated kernel source")
+    _add_point_args(source)
+
+    tune = sub.add_parser(
+        "autotune", help="coordinate-descent DSE instead of a full grid"
+    )
+    _add_point_args(tune)
+    tune.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="axis to tune over (repeatable; default: loop + vector_width + unroll)",
+    )
+    tune.add_argument("--budget", type=int, default=40, help="max evaluations")
+    tune.add_argument("--ntimes", type=int, default=3)
+
+    energy = sub.add_parser(
+        "energy", help="energy-efficiency report for one parameter point"
+    )
+    _add_point_args(energy)
+    energy.add_argument("--ntimes", type=int, default=3)
+
+    comp = sub.add_parser(
+        "compare", help="diff two result files written by sweep/run --save"
+    )
+    comp.add_argument("before", help="JSONL result file (baseline)")
+    comp.add_argument("after", help="JSONL result file (new run)")
+
+    gs = sub.add_parser(
+        "gpustream", help="run the GPU-STREAM baseline (the paper's ref. [3])"
+    )
+    gs.add_argument("--target", default="gpu")
+    gs.add_argument("--size", default="32MiB")
+    gs.add_argument("--ntimes", type=int, default=10)
+    gs.add_argument("--dot", action="store_true", help="include the DOT kernel")
+
+    sub.add_parser(
+        "selfcheck",
+        help="fast consistency check: run tiny benchmarks on every target "
+        "and verify the paper's qualitative orderings",
+    )
+    return parser
+
+
+def _add_point_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--target", default="cpu", help="aocl|sdaccel|cpu|gpu")
+    parser.add_argument(
+        "--kernel", default="copy", choices=[k.value for k in KernelName]
+    )
+    parser.add_argument("--size", default="4MiB", help="bytes per array, e.g. 4MiB")
+    parser.add_argument(
+        "--dtype", default="int", choices=[d.cname for d in DataType]
+    )
+    parser.add_argument("--vec", type=int, default=1, help="vector width")
+    parser.add_argument(
+        "--pattern",
+        default="contiguous",
+        choices=[p.value for p in AccessPattern],
+    )
+    parser.add_argument(
+        "--loop", default=None, choices=[l.value for l in LoopManagement],
+        help="loop management (default: the target's optimal mode)",
+    )
+    parser.add_argument("--unroll", type=int, default=1)
+    parser.add_argument("--wg", type=int, default=None, help="reqd_work_group_size")
+    parser.add_argument("--simd", type=int, default=1, help="AOCL SIMD work-items")
+    parser.add_argument("--cu", type=int, default=1, help="AOCL compute units")
+    parser.add_argument(
+        "--host-streams",
+        action="store_true",
+        help="measure host<->device (PCIe) streams instead of global memory",
+    )
+
+
+def _params_from(args: argparse.Namespace) -> TuningParameters:
+    from .core import optimal_loop_for
+
+    loop = (
+        LoopManagement(args.loop)
+        if args.loop is not None
+        else optimal_loop_for(args.target)
+    )
+    return TuningParameters(
+        kernel=KernelName(args.kernel),
+        array_bytes=parse_size(args.size),
+        dtype=next(d for d in DataType if d.cname == args.dtype),
+        vector_width=args.vec,
+        pattern=AccessPattern(args.pattern),
+        loop=loop,
+        unroll=args.unroll,
+        reqd_work_group_size=args.wg,
+        num_simd_work_items=args.simd,
+        num_compute_units=args.cu,
+        locus=StreamLocus.HOST if args.host_streams else StreamLocus.DEVICE,
+    )
+
+
+def _parse_axis(text: str) -> tuple[str, list[object]]:
+    if "=" not in text:
+        raise ReproError(f"bad --axis {text!r}: expected FIELD=V1,V2,...")
+    field, _, raw = text.partition("=")
+    field = field.strip()
+    values: list[object] = []
+    converters = {
+        "kernel": KernelName,
+        "pattern": AccessPattern,
+        "loop": LoopManagement,
+        "dtype": lambda v: next(d for d in DataType if d.cname == v),
+        "array_bytes": parse_size,
+        "locus": StreamLocus,
+    }
+    conv = converters.get(field, int)
+    for token in raw.split(","):
+        token = token.strip()
+        values.append(conv(token))  # type: ignore[operator]
+    return field, values
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_devices(_: argparse.Namespace) -> int:
+    for platform in get_platforms():
+        print(f"{platform.name}  (vendor: {platform.vendor})")
+        for device in platform.devices:
+            info = device.info()
+            print(
+                f"  [{device.short_name:8s}] {info['name']}\n"
+                f"             type={info['type']}  "
+                f"CUs={info['max_compute_units']}  "
+                f"peak={info['peak_global_bandwidth_gbs']} GB/s  "
+                f"mem={format_size(int(info['global_mem_size']))}"
+            )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    runner = BenchmarkRunner(args.target, ntimes=args.ntimes)
+    if args.all_kernels:
+        results = runner.run_all_kernels(params)
+        print(stream_table(results))
+        failed = any(not r.ok for r in results)
+    else:
+        result = runner.run(params)
+        print(result.summary())
+        failed = not result.ok
+    if args.csv:
+        from .core import ResultSet
+
+        rs = ResultSet(results if args.all_kernels else [result])
+        rs.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.save:
+        from .core import save_results
+
+        n = save_results(results if args.all_kernels else [result], args.save)
+        print(f"appended {n} results to {args.save}")
+    return 1 if failed else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = _params_from(args)
+    axes = dict(_parse_axis(a) for a in args.axis)
+    sweep = ParameterSweep(base=base, axes=axes)
+    runner = BenchmarkRunner(args.target, ntimes=args.ntimes)
+    results = explore(runner, sweep, progress=lambda r: print(r.summary()))
+    print()
+    print(results_table(results))
+    best = results.best()
+    if best is not None:
+        print(
+            f"\nbest: {best.params.describe()} -> "
+            f"{format_bandwidth(best.bandwidth_gbs * 1e9)}"
+        )
+    for changes, reason in sweep.skipped:
+        print(f"skipped {changes}: {reason}")
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.save:
+        from .core import save_results
+
+        n = save_results(results, args.save)
+        print(f"appended {n} results to {args.save}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "targets":
+        rows = figures.targets_table()
+        for row in rows:
+            print(
+                f"{row['target']:8s} {row['device']}\n"
+                f"         platform={row['platform']}  "
+                f"peak={row['peak_bw_gbs']} GB/s"
+            )
+        return 0
+    series = _FIGURES[args.name]()
+    print(series_table(series, x_label="x"))
+    if args.chart:
+        print()
+        print(ascii_chart(series, title=args.name))
+    if args.csv:
+        import csv
+
+        xs: list[object] = []
+        for pts in series.values():
+            for x, _ in pts:
+                if x not in xs:
+                    xs.append(x)
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["x"] + list(series))
+            lookup = {name: dict(pts) for name, pts in series.items()}
+            for x in xs:
+                writer.writerow(
+                    [x] + [lookup[name].get(x, "") for name in series]
+                )
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_host_stream(args: argparse.Namespace) -> int:
+    from .hoststream import classic_report, run_host_stream
+
+    results = run_host_stream(
+        array_bytes=parse_size(args.size), ntimes=args.ntimes
+    )
+    print(classic_report(results))
+    return 0
+
+
+def _cmd_source(args: argparse.Namespace) -> int:
+    gen = generate(_params_from(args))
+    print(f"// kernel: {gen.kernel_name}")
+    print(f"// defines: {gen.defines}")
+    print(f"// global_size: {gen.global_size}  local_size: {gen.local_size}")
+    print(gen.source)
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from .core import LoopManagement as _LM
+    from .core import autotune
+
+    seed = _params_from(args)
+    if args.axis:
+        axes = dict(_parse_axis(a) for a in args.axis)
+    else:
+        axes = {
+            "loop": list(_LM),
+            "vector_width": [1, 2, 4, 8, 16],
+            "unroll": [1, 2, 4],
+        }
+    runner = BenchmarkRunner(args.target, ntimes=args.ntimes)
+    out = autotune(runner, axes, seed=seed, budget=args.budget)
+    print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
+    for desc, bw in out.trajectory:
+        print(f"  -> {desc}: {bw:.3f} GB/s")
+    best = out.best
+    print(
+        f"\nbest: {best.params.describe()} = "
+        f"{format_bandwidth(best.bandwidth_gbs * 1e9)}"
+    )
+    return 0 if best.ok else 1
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from .devices.energy import energy_report
+
+    params = _params_from(args)
+    result = BenchmarkRunner(args.target, ntimes=args.ntimes).run(params)
+    if not result.ok:
+        print(f"error: {result.error}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    report = energy_report(result)
+    print(report.summary())
+    print(
+        f"  static {report.static_j * 1e3:.2f} mJ + "
+        f"transfer {report.transfer_j * 1e3:.2f} mJ"
+    )
+    return 0
+
+
+def _cmd_selfcheck(_: argparse.Namespace) -> int:
+    """Cheap end-to-end health check of the whole stack."""
+    from .core import optimal_loop_for
+
+    n = 256 * 1024
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, ok, detail))
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f"  ({detail})" if detail else ""))
+
+    print("running self-check (256 KiB arrays)...")
+    bw: dict[str, float] = {}
+    for target in ("aocl", "sdaccel", "cpu", "gpu"):
+        runner = BenchmarkRunner(target, ntimes=2)
+        result = runner.run(
+            TuningParameters(array_bytes=n, loop=optimal_loop_for(target))
+        )
+        bw[target] = result.bandwidth_gbs
+        check(
+            f"{target}: copy runs and validates",
+            result.ok and result.validated,
+            f"{result.bandwidth_gbs:.3f} GB/s",
+        )
+    check(
+        "cross-target ordering gpu > cpu > aocl > sdaccel",
+        bw["gpu"] > bw["cpu"] > bw["aocl"] > bw["sdaccel"],
+    )
+    aocl16 = BenchmarkRunner("aocl", ntimes=2).run(
+        TuningParameters(array_bytes=n, loop=LoopManagement.FLAT, vector_width=16)
+    )
+    check(
+        "vectorization lifts the FPGA",
+        aocl16.ok and aocl16.bandwidth_gbs > 2 * bw["aocl"],
+        f"{bw['aocl']:.2f} -> {aocl16.bandwidth_gbs:.2f} GB/s",
+    )
+    strided = BenchmarkRunner("sdaccel", ntimes=2).run(
+        TuningParameters(
+            array_bytes=n,
+            loop=LoopManagement.NESTED,
+            pattern=AccessPattern.STRIDED,
+        )
+    )
+    check(
+        "strided access collapses on sdaccel",
+        strided.ok and strided.bandwidth_gbs < 0.05,
+        f"{strided.bandwidth_gbs:.4f} GB/s",
+    )
+    failed = [name for name, ok, _ in checks if not ok]
+    print()
+    if failed:
+        print(f"self-check FAILED: {failed}", file=sys.stderr)
+        return 1
+    print(f"self-check passed ({len(checks)} checks)")
+    return 0
+
+
+def _cmd_gpustream(args: argparse.Namespace) -> int:
+    from .gpustream import run_gpu_stream
+
+    results = run_gpu_stream(
+        args.target,
+        array_bytes=parse_size(args.size),
+        ntimes=args.ntimes,
+        with_dot=args.dot,
+    )
+    print(f"GPU-STREAM on {args.target} ({args.size}/array, {args.ntimes} iterations)")
+    print(f"{'Function':<10}{'Best Rate':>14}{'Avg time':>12}")
+    print("-" * 36)
+    for name, r in results.items():
+        print(
+            f"{name:<10}{format_bandwidth(r.bandwidth_gbs * 1e9):>14}"
+            f"{r.avg_time * 1e3:>10.3f}ms"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core import compare_results, load_results
+
+    entries = compare_results(load_results(args.before), load_results(args.after))
+    if not entries:
+        print("(nothing to compare)")
+        return 0
+    width = max(len(e.description) for e in entries)
+    for e in entries:
+        ratio = f"{e.ratio:.2f}x" if e.ratio is not None else "  -  "
+        before = f"{e.before_gbs:.3f}" if e.before_gbs is not None else "  -  "
+        after = f"{e.after_gbs:.3f}" if e.after_gbs is not None else "  -  "
+        print(f"{e.status:>9}  {e.description:<{width}}  {before:>9} -> {after:>9}  {ratio}")
+    regressed = sum(1 for e in entries if e.status == "regressed")
+    return 1 if regressed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "devices": _cmd_devices,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+        "host-stream": _cmd_host_stream,
+        "source": _cmd_source,
+        "autotune": _cmd_autotune,
+        "energy": _cmd_energy,
+        "compare": _cmd_compare,
+        "gpustream": _cmd_gpustream,
+        "selfcheck": _cmd_selfcheck,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""MP-STREAM: the benchmark itself (the paper's contribution).
+
+Public API sketch::
+
+    from repro.core import BenchmarkRunner, TuningParameters, KernelName
+
+    runner = BenchmarkRunner("aocl")
+    result = runner.run(TuningParameters(kernel=KernelName.COPY,
+                                         vector_width=8))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from .autotune import AutotuneResult, autotune
+from .generator import GeneratedKernel, generate
+from .history import CompareEntry, compare_results, load_results, save_results
+from .kernels import KERNELS, SCALAR_Q, KernelSpec, initial_arrays, reference
+from .params import (
+    VECTOR_WIDTHS,
+    AccessPattern,
+    DataType,
+    KernelName,
+    LoopManagement,
+    StreamLocus,
+    TuningParameters,
+)
+from .report import ascii_chart, markdown_table, results_table, series_table, stream_table
+from .results import ResultSet, RunResult
+from .roofline import RooflinePoint, peak_compute_flops, roofline_point
+from .runner import BenchmarkRunner, optimal_loop_for
+from .sweep import ParameterSweep, best_configuration, explore
+from .validate import validate_solution
+
+__all__ = [
+    "TuningParameters",
+    "KernelName",
+    "DataType",
+    "AccessPattern",
+    "LoopManagement",
+    "StreamLocus",
+    "VECTOR_WIDTHS",
+    "KernelSpec",
+    "KERNELS",
+    "SCALAR_Q",
+    "initial_arrays",
+    "reference",
+    "GeneratedKernel",
+    "generate",
+    "BenchmarkRunner",
+    "optimal_loop_for",
+    "RunResult",
+    "ResultSet",
+    "ParameterSweep",
+    "explore",
+    "best_configuration",
+    "validate_solution",
+    "autotune",
+    "AutotuneResult",
+    "save_results",
+    "load_results",
+    "compare_results",
+    "CompareEntry",
+    "roofline_point",
+    "RooflinePoint",
+    "peak_compute_flops",
+    "stream_table",
+    "results_table",
+    "series_table",
+    "ascii_chart",
+    "markdown_table",
+]

@@ -1,0 +1,123 @@
+"""Budget-aware automated design-space exploration.
+
+The paper argues "both a manual and automated design-space exploration
+route will benefit" from MP-STREAM; grid sweeps (:mod:`repro.core.sweep`)
+are the manual route, this module is the automated one: **greedy
+coordinate descent** over the tuning axes. Starting from a seed point
+it repeatedly scans one axis at a time (keeping the others fixed),
+moves to the best neighbour, and stops when a full round improves
+nothing or the evaluation budget runs out.
+
+FPGA practitioners will recognize why this matters: every point costs a
+"synthesis" (here: a modelled build that can fail to fit), so a budget
+of tens of evaluations has to beat a cartesian grid of hundreds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import SweepError
+from .params import TuningParameters
+from .results import ResultSet, RunResult
+from .runner import BenchmarkRunner
+
+__all__ = ["AutotuneResult", "autotune"]
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of a coordinate-descent run."""
+
+    best: RunResult
+    evaluations: ResultSet
+    rounds: int
+    #: improvement path: (params description, bandwidth) per accepted move
+    trajectory: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def evaluations_used(self) -> int:
+        return len(self.evaluations)
+
+
+def autotune(
+    runner: BenchmarkRunner,
+    axes: Mapping[str, Sequence[object]],
+    *,
+    seed: TuningParameters | None = None,
+    budget: int = 50,
+    max_rounds: int = 8,
+) -> AutotuneResult:
+    """Greedy coordinate descent over ``axes`` starting from ``seed``.
+
+    ``axes`` maps :class:`TuningParameters` fields to candidate values
+    (each axis should include the seed's value). Points that fail to
+    validate or to build count against the budget but never win.
+    """
+    if budget < 1:
+        raise SweepError(f"budget must be >= 1, got {budget}")
+    valid_fields = set(TuningParameters.__dataclass_fields__)
+    unknown = set(axes) - valid_fields
+    if unknown:
+        raise SweepError(f"unknown axes {sorted(unknown)}")
+    if not axes:
+        raise SweepError("autotune needs at least one axis")
+
+    current = seed if seed is not None else TuningParameters()
+    evaluations = ResultSet()
+    cache: dict[TuningParameters, RunResult] = {}
+    spent = 0
+
+    def evaluate(params: TuningParameters) -> RunResult | None:
+        nonlocal spent
+        if params in cache:
+            return cache[params]
+        if spent >= budget:
+            return None
+        spent += 1
+        result = runner.run(params)
+        cache[params] = result
+        evaluations.add(result)
+        return result
+
+    best = evaluate(current)
+    if best is None:  # pragma: no cover - budget >= 1 guarantees one eval
+        raise SweepError("budget exhausted before the seed was evaluated")
+    trajectory: list[tuple[str, float]] = [
+        (current.describe(), best.bandwidth_gbs if best.ok else 0.0)
+    ]
+
+    rounds = 0
+    improved = True
+    while improved and rounds < max_rounds and spent < budget:
+        improved = False
+        rounds += 1
+        for axis, values in axes.items():
+            best_here = best
+            for value in values:
+                if getattr(current, axis) == value:
+                    continue
+                try:
+                    candidate = current.with_(**{axis: value})
+                except SweepError:
+                    continue  # invalid combination: not a legal move
+                result = evaluate(candidate)
+                if result is None:
+                    break  # budget exhausted mid-scan
+                if result.ok and (
+                    not best_here.ok
+                    or result.bandwidth_gbs > best_here.bandwidth_gbs
+                ):
+                    best_here = result
+            if best_here is not best and best_here.ok:
+                best = best_here
+                current = best_here.params
+                trajectory.append((current.describe(), best.bandwidth_gbs))
+                improved = True
+            if spent >= budget:
+                break
+
+    return AutotuneResult(
+        best=best, evaluations=evaluations, rounds=rounds, trajectory=trajectory
+    )

@@ -1,0 +1,175 @@
+"""Result persistence and run-to-run comparison.
+
+DSE campaigns accumulate over days (a real FPGA compile is hours); this
+module stores :class:`~repro.core.results.ResultSet` runs as JSON-lines
+files and diffs two runs — the "did the new toolchain/model change the
+picture?" question the paper's planned results-sharing website was
+meant to answer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import BenchmarkError
+from .params import (
+    AccessPattern,
+    DataType,
+    KernelName,
+    LoopManagement,
+    StreamLocus,
+    TuningParameters,
+)
+from .results import ResultSet, RunResult
+
+__all__ = ["save_results", "load_results", "CompareEntry", "compare_results"]
+
+_SCHEMA = 1
+
+
+def _params_to_json(p: TuningParameters) -> dict:
+    return {
+        "kernel": p.kernel.value,
+        "array_bytes": p.array_bytes,
+        "dtype": p.dtype.cname,
+        "vector_width": p.vector_width,
+        "pattern": p.pattern.value,
+        "loop": p.loop.value,
+        "unroll": p.unroll,
+        "reqd_work_group_size": p.reqd_work_group_size,
+        "num_simd_work_items": p.num_simd_work_items,
+        "num_compute_units": p.num_compute_units,
+        "xcl_pipeline_loop": p.xcl_pipeline_loop,
+        "xcl_pipeline_workitems": p.xcl_pipeline_workitems,
+        "xcl_max_memory_ports": p.xcl_max_memory_ports,
+        "xcl_memory_port_width": p.xcl_memory_port_width,
+        "locus": p.locus.value,
+    }
+
+
+def _params_from_json(data: dict) -> TuningParameters:
+    return TuningParameters(
+        kernel=KernelName(data["kernel"]),
+        array_bytes=int(data["array_bytes"]),
+        dtype=next(d for d in DataType if d.cname == data["dtype"]),
+        vector_width=int(data["vector_width"]),
+        pattern=AccessPattern(data["pattern"]),
+        loop=LoopManagement(data["loop"]),
+        unroll=int(data["unroll"]),
+        reqd_work_group_size=data.get("reqd_work_group_size"),
+        num_simd_work_items=int(data.get("num_simd_work_items", 1)),
+        num_compute_units=int(data.get("num_compute_units", 1)),
+        xcl_pipeline_loop=bool(data.get("xcl_pipeline_loop", False)),
+        xcl_pipeline_workitems=bool(data.get("xcl_pipeline_workitems", False)),
+        xcl_max_memory_ports=bool(data.get("xcl_max_memory_ports", False)),
+        xcl_memory_port_width=data.get("xcl_memory_port_width"),
+        locus=StreamLocus(data.get("locus", "device")),
+    )
+
+
+def save_results(results: Iterable[RunResult], path: str | Path) -> int:
+    """Append results to a JSON-lines file; returns the count written."""
+    path = Path(path)
+    count = 0
+    with path.open("a") as fh:
+        for r in results:
+            record = {
+                "schema": _SCHEMA,
+                "target": r.target,
+                "params": _params_to_json(r.params),
+                "times_s": list(r.times),
+                "moved_bytes": r.moved_bytes,
+                "validated": r.validated,
+                "error": r.error,
+            }
+            fh.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_results(path: str | Path) -> ResultSet:
+    """Load a JSON-lines result file back into a :class:`ResultSet`."""
+    path = Path(path)
+    out = ResultSet()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise BenchmarkError(f"{path}:{lineno}: bad JSON ({exc})") from exc
+        if record.get("schema") != _SCHEMA:
+            raise BenchmarkError(
+                f"{path}:{lineno}: unsupported schema {record.get('schema')!r}"
+            )
+        out.add(
+            RunResult(
+                target=record["target"],
+                params=_params_from_json(record["params"]),
+                times=tuple(record["times_s"]),
+                moved_bytes=int(record["moved_bytes"]),
+                validated=bool(record["validated"]),
+                error=record.get("error", ""),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class CompareEntry:
+    """One configuration's before/after."""
+
+    target: str
+    description: str
+    before_gbs: float | None
+    after_gbs: float | None
+
+    @property
+    def ratio(self) -> float | None:
+        if not self.before_gbs or self.after_gbs is None:
+            return None
+        return self.after_gbs / self.before_gbs
+
+    @property
+    def status(self) -> str:
+        if self.before_gbs is None:
+            return "new"
+        if self.after_gbs is None:
+            return "removed"
+        r = self.ratio or 0.0
+        if r > 1.05:
+            return "improved"
+        if r < 0.95:
+            return "regressed"
+        return "unchanged"
+
+
+def compare_results(
+    before: ResultSet, after: ResultSet
+) -> list[CompareEntry]:
+    """Match configurations across two runs and classify the changes."""
+
+    def key(r: RunResult) -> tuple:
+        return (r.target, r.params)
+
+    before_map = {key(r): r for r in before if r.ok}
+    after_map = {key(r): r for r in after if r.ok}
+    entries = []
+    for k in sorted(set(before_map) | set(after_map), key=str):
+        b = before_map.get(k)
+        a = after_map.get(k)
+        some = b or a
+        assert some is not None
+        entries.append(
+            CompareEntry(
+                target=some.target,
+                description=some.params.describe(),
+                before_gbs=b.bandwidth_gbs if b else None,
+                after_gbs=a.bandwidth_gbs if a else None,
+            )
+        )
+    return entries

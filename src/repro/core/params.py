@@ -1,0 +1,255 @@
+"""The MP-STREAM tuning-parameter space.
+
+:class:`TuningParameters` is the paper's contribution surface: one
+frozen record capturing every knob §III defines — generic (array size,
+stream locus, data type, vector width, access pattern, loop management,
+unroll, required work-group size) and device-specific (AOCL's SIMD
+work-items and compute units; SDAccel's pipeline attributes).
+Validation enforces the same constraints the vendor toolchains do
+(e.g. SIMD requires a fixed work-group size and an NDRange kernel).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import SweepError
+from ..units import MIB, parse_size
+
+__all__ = [
+    "KernelName",
+    "DataType",
+    "AccessPattern",
+    "LoopManagement",
+    "StreamLocus",
+    "TuningParameters",
+    "VECTOR_WIDTHS",
+]
+
+#: widths the benchmark sweeps (1 = scalar)
+VECTOR_WIDTHS = (1, 2, 4, 8, 16)
+
+
+class KernelName(enum.Enum):
+    """The four STREAM kernels (the paper calls ADD "SUM")."""
+
+    COPY = "copy"
+    SCALE = "scale"
+    ADD = "add"
+    TRIAD = "triad"
+
+    @property
+    def arrays_touched(self) -> int:
+        """Arrays moved per element — STREAM's byte-counting convention."""
+        return 2 if self in (KernelName.COPY, KernelName.SCALE) else 3
+
+    @property
+    def uses_scalar(self) -> bool:
+        return self in (KernelName.SCALE, KernelName.TRIAD)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class DataType(enum.Enum):
+    """Element data types the benchmark supports."""
+
+    INT = ("int", 4)
+    FLOAT = ("float", 4)
+    DOUBLE = ("double", 8)
+
+    def __init__(self, cname: str, size: int):
+        self.cname = cname
+        self.size = size
+
+    def __str__(self) -> str:
+        return self.cname
+
+
+class AccessPattern(enum.Enum):
+    """Contiguous walk, or the column-major walk of a row-major 2-D array."""
+
+    CONTIGUOUS = "contiguous"
+    STRIDED = "strided"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class LoopManagement(enum.Enum):
+    """§III "kernel loop management": how the array loop is expressed."""
+
+    NDRANGE = "ndrange"
+    FLAT = "flat"
+    NESTED = "nested"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class StreamLocus(enum.Enum):
+    """Where the streams run: device global memory, or across PCIe."""
+
+    DEVICE = "device"
+    HOST = "host"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TuningParameters:
+    """One point of the MP-STREAM design space."""
+
+    kernel: KernelName = KernelName.COPY
+    #: bytes per array (the paper's x-axes quote MB per array)
+    array_bytes: int = 4 * MIB
+    dtype: DataType = DataType.INT
+    vector_width: int = 1
+    pattern: AccessPattern = AccessPattern.CONTIGUOUS
+    loop: LoopManagement = LoopManagement.NDRANGE
+    unroll: int = 1
+    reqd_work_group_size: Optional[int] = None
+    #: AOCL num_simd_work_items
+    num_simd_work_items: int = 1
+    #: AOCL num_compute_units
+    num_compute_units: int = 1
+    #: SDAccel pipeline attributes
+    xcl_pipeline_loop: bool = False
+    xcl_pipeline_workitems: bool = False
+    #: SDAccel memory-interface attributes
+    xcl_max_memory_ports: bool = False
+    xcl_memory_port_width: Optional[int] = None
+    #: access vectors through vloadN/vstoreN on scalar pointers instead
+    #: of vector-typed pointers (the other idiomatic OpenCL style)
+    use_vload: bool = False
+    locus: StreamLocus = StreamLocus.DEVICE
+
+    # -- validation -----------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if self.array_bytes <= 0:
+            raise SweepError(f"array size must be positive, got {self.array_bytes}")
+        if self.vector_width not in VECTOR_WIDTHS:
+            raise SweepError(
+                f"vector width {self.vector_width} not in {VECTOR_WIDTHS}"
+            )
+        if self.unroll < 1:
+            raise SweepError(f"unroll factor must be >= 1, got {self.unroll}")
+        if self.num_simd_work_items < 1 or self.num_compute_units < 1:
+            raise SweepError("SIMD/compute-unit counts must be >= 1")
+        if self.num_simd_work_items > 1:
+            if self.loop is not LoopManagement.NDRANGE:
+                raise SweepError("num_simd_work_items requires an NDRange kernel")
+            if self.reqd_work_group_size is None:
+                raise SweepError(
+                    "num_simd_work_items requires reqd_work_group_size "
+                    "(the AOCL compiler enforces this)"
+                )
+        if self.unroll > 1 and self.loop is LoopManagement.NDRANGE:
+            raise SweepError("loop unrolling applies to loop kernels, not NDRange")
+        if self.element_count < 1:
+            raise SweepError(
+                f"array of {self.array_bytes} bytes holds no "
+                f"{self.dtype.cname}{self.vector_width} element"
+            )
+        if self.array_bytes % self.element_bytes:
+            raise SweepError(
+                f"array size {self.array_bytes} is not a whole number of "
+                f"{self.dtype.cname}{self.vector_width} elements"
+            )
+        if self.use_vload and self.vector_width == 1:
+            raise SweepError("use_vload requires a vector width > 1")
+        if self.xcl_memory_port_width is not None and self.xcl_memory_port_width not in (
+            32,
+            64,
+            128,
+            256,
+            512,
+        ):
+            raise SweepError(
+                f"invalid memory port width {self.xcl_memory_port_width}"
+            )
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def word_count(self) -> int:
+        """Scalar words per array."""
+        return self.array_bytes // self.dtype.size
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes per (possibly vector) element."""
+        return self.dtype.size * self.vector_width
+
+    @property
+    def element_count(self) -> int:
+        """Vector elements per array (the kernel's iteration count)."""
+        return self.array_bytes // self.element_bytes if self.element_bytes else 0
+
+    @property
+    def type_name(self) -> str:
+        """The OpenCL C element type name."""
+        if self.vector_width == 1:
+            return self.dtype.cname
+        return f"{self.dtype.cname}{self.vector_width}"
+
+    def shape_2d(self) -> tuple[int, int]:
+        """Rows x cols (in elements) for the 2-D patterns.
+
+        Rows are the largest power of two not exceeding sqrt(n) that
+        divides the element count, so both loops have exact bounds.
+        """
+        n = self.element_count
+        rows = 1 << max(0, int(math.log2(max(1.0, math.sqrt(n)))))
+        while rows > 1 and n % rows:
+            rows >>= 1
+        return rows, n // rows
+
+    @property
+    def moved_bytes(self) -> int:
+        """Bytes counted for bandwidth, per STREAM's convention.
+
+        The 2-D variants may use slightly fewer elements than the raw
+        array when the count does not factor exactly; the byte count
+        follows the elements actually touched.
+        """
+        if self.loop is LoopManagement.NESTED or self.pattern is AccessPattern.STRIDED:
+            rows, cols = self.shape_2d()
+            used = rows * cols * self.element_bytes
+        else:
+            used = self.element_count * self.element_bytes
+        return used * self.kernel.arrays_touched
+
+    def with_(self, **changes: object) -> "TuningParameters":
+        """A copy with fields replaced (sweep helper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def parse(cls, *, array_size: str | int = 4 * MIB, **kwargs: object) -> "TuningParameters":
+        """Construct with a human-readable array size ("4MiB")."""
+        return cls(array_bytes=parse_size(array_size), **kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        parts = [
+            str(self.kernel),
+            f"{self.array_bytes} B/array",
+            self.type_name,
+            str(self.pattern),
+            str(self.loop),
+        ]
+        if self.unroll > 1:
+            parts.append(f"unroll{self.unroll}")
+        if self.num_simd_work_items > 1:
+            parts.append(f"simd{self.num_simd_work_items}")
+        if self.num_compute_units > 1:
+            parts.append(f"cu{self.num_compute_units}")
+        if self.use_vload:
+            parts.append("vload")
+        if self.locus is StreamLocus.HOST:
+            parts.append("host-stream")
+        return " ".join(parts)

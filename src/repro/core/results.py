@@ -1,0 +1,149 @@
+"""Result records and collections."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..units import bandwidth_gbs, format_bandwidth, format_size
+from .params import TuningParameters
+
+__all__ = ["RunResult", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running one parameter point on one target."""
+
+    target: str
+    params: TuningParameters
+    #: per-repetition wall time, seconds (queued -> end, like the paper)
+    times: tuple[float, ...]
+    moved_bytes: int
+    validated: bool
+    #: failure notes: "" on success, else why the point produced no timing
+    error: str = ""
+    detail: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+    @property
+    def min_time(self) -> float:
+        return min(self.times)
+
+    @property
+    def avg_time(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def max_time(self) -> float:
+        return max(self.times)
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """STREAM's reported number: bytes moved / best time, decimal GB/s."""
+        if not self.ok or not self.times:
+            return 0.0
+        return bandwidth_gbs(self.moved_bytes, self.min_time)
+
+    def row(self) -> dict[str, object]:
+        """Flat record for tables/CSV."""
+        p = self.params
+        return {
+            "target": self.target,
+            "kernel": str(p.kernel),
+            "array_bytes": p.array_bytes,
+            "dtype": p.dtype.cname,
+            "vector_width": p.vector_width,
+            "pattern": str(p.pattern),
+            "loop": str(p.loop),
+            "unroll": p.unroll,
+            "simd": p.num_simd_work_items,
+            "compute_units": p.num_compute_units,
+            "locus": str(p.locus),
+            "bandwidth_gbs": round(self.bandwidth_gbs, 4),
+            "min_time_s": self.min_time if self.ok and self.times else None,
+            "validated": self.validated,
+            "error": self.error,
+        }
+
+    def summary(self) -> str:
+        if not self.ok:
+            return f"[{self.target}] {self.params.describe()}: FAILED ({self.error})"
+        return (
+            f"[{self.target}] {self.params.describe()}: "
+            f"{format_bandwidth(self.bandwidth_gbs * 1e9)} "
+            f"({format_size(self.moved_bytes)} moved, best of {len(self.times)})"
+        )
+
+
+class ResultSet:
+    """An ordered collection of results with query/export helpers."""
+
+    def __init__(self, results: Iterable[RunResult] = ()):
+        self._results: list[RunResult] = list(results)
+
+    def add(self, result: RunResult) -> None:
+        self._results.append(result)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __getitem__(self, index: int) -> RunResult:
+        return self._results[index]
+
+    def ok(self) -> "ResultSet":
+        return ResultSet(r for r in self._results if r.ok)
+
+    def filter(self, **criteria: object) -> "ResultSet":
+        """Filter by flat row fields, e.g. ``filter(target="aocl", kernel="copy")``."""
+        out = []
+        for r in self._results:
+            row = r.row()
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(r)
+        return ResultSet(out)
+
+    def best(self) -> Optional[RunResult]:
+        """Highest-bandwidth successful result."""
+        ok = [r for r in self._results if r.ok]
+        return max(ok, key=lambda r: r.bandwidth_gbs) if ok else None
+
+    def series(
+        self, x: str, *, y: str = "bandwidth_gbs"
+    ) -> list[tuple[object, float]]:
+        """(x, y) pairs from the flat rows, in insertion order."""
+        return [
+            (r.row()[x], float(r.row()[y]))  # type: ignore[arg-type]
+            for r in self._results
+            if r.ok
+        ]
+
+    def to_csv(self, path: str) -> None:
+        import csv
+
+        if not self._results:
+            raise ValueError("no results to write")
+        rows = [r.row() for r in self._results]
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def to_json(self, path: str | None = None) -> str:
+        payload = []
+        for r in self._results:
+            row = r.row()
+            row["times_s"] = list(r.times)
+            payload.append(row)
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text

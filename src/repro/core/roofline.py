@@ -1,0 +1,103 @@
+"""Roofline placement for benchmark results.
+
+STREAM kernels are the textbook memory-bound corner of the roofline
+model; placing each measured configuration on its target's roofline
+makes the DSE discussion quantitative: *how far below the memory roof
+does this coding style sit, and is any configuration compute-bound?*
+
+For a kernel with arithmetic intensity ``I`` (flops/byte) on a device
+with peak compute ``P`` (flop/s) and sustained memory bandwidth ``B``
+(bytes/s), attainable performance is ``min(P, I*B)``. We derive ``I``
+from the kernel IR (ALU lane-ops per byte moved) and peak compute from
+the device spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.specs import CpuSpec, DeviceSpec, FpgaSpec, GpuSpec
+from ..errors import InvalidValueError
+from ..oclc import KernelIR
+from .results import RunResult
+
+__all__ = ["RooflinePoint", "peak_compute_flops", "roofline_point"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One configuration placed on its device's roofline."""
+
+    target: str
+    arithmetic_intensity: float  # flops per byte of memory traffic
+    achieved_flops: float
+    achieved_bytes_per_s: float
+    peak_flops: float
+    peak_bytes_per_s: float
+
+    @property
+    def memory_roof_flops(self) -> float:
+        return self.arithmetic_intensity * self.peak_bytes_per_s
+
+    @property
+    def attainable_flops(self) -> float:
+        return min(self.peak_flops, self.memory_roof_flops)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether the roofline says memory limits this configuration."""
+        return self.memory_roof_flops <= self.peak_flops
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved fraction of the binding roof (memory- or compute-)."""
+        if self.arithmetic_intensity == 0:
+            # pure data movement: measure against the bandwidth roof
+            return self.achieved_bytes_per_s / self.peak_bytes_per_s
+        return self.achieved_flops / self.attainable_flops
+
+    def summary(self) -> str:
+        bound = "memory" if self.is_memory_bound else "compute"
+        return (
+            f"[{self.target}] I={self.arithmetic_intensity:.3f} flop/B, "
+            f"{bound}-bound, {100 * self.roof_fraction:.1f}% of roof"
+        )
+
+
+def peak_compute_flops(spec: DeviceSpec) -> float:
+    """Peak scalar-op throughput of a device, flop/s.
+
+    CPU: cores x clock x SIMD lanes (AVX, 8 x fp32). GPU: CUDA cores x
+    clock. FPGA: DSP blocks at the base fabric clock (each doing one
+    multiply-add per cycle).
+    """
+    if isinstance(spec, CpuSpec):
+        return spec.compute_units * spec.core_clock_hz * 8
+    if isinstance(spec, GpuSpec):
+        cuda_cores = spec.sm_count * 192  # Kepler SMX
+        return cuda_cores * spec.core_clock_hz
+    if isinstance(spec, FpgaSpec):
+        return max(1, spec.dsp_blocks) * spec.base_fmax_hz
+    raise InvalidValueError(f"no compute-peak rule for {type(spec).__name__}")
+
+
+def roofline_point(result: RunResult, ir: KernelIR, spec: DeviceSpec) -> RooflinePoint:
+    """Place a successful result on its device's roofline."""
+    if not result.ok:
+        raise InvalidValueError(f"cannot place a failed result ({result.error})")
+    bytes_per_iter = ir.bytes_per_iteration()
+    if bytes_per_iter == 0:
+        raise InvalidValueError("kernel moves no memory; roofline is undefined")
+    lanes = ir.vector_width
+    flops_per_iter = ir.alu_ops_per_iteration * lanes
+    intensity = flops_per_iter / bytes_per_iter
+    achieved_bw = result.bandwidth_gbs * 1e9
+    achieved_flops = intensity * achieved_bw
+    return RooflinePoint(
+        target=result.target,
+        arithmetic_intensity=intensity,
+        achieved_flops=achieved_flops,
+        achieved_bytes_per_s=achieved_bw,
+        peak_flops=peak_compute_flops(spec),
+        peak_bytes_per_s=spec.peak_bandwidth_gbs * 1e9,
+    )

@@ -1,0 +1,220 @@
+"""The benchmark runner: buffers, repetitions, timing, validation.
+
+Follows stream.c's discipline:
+
+1. allocate the three arrays and initialize a=1, b=2, c=0;
+2. build the generated kernel for the target;
+3. one untimed warm-up launch (absorbs lazy migrations / first-touch);
+4. ``ntimes`` timed launches; the *best* time is reported, the spread
+   is kept;
+5. validate the final array contents against the numpy reference.
+
+Bandwidth = STREAM-counted bytes (2 arrays for COPY/SCALE, 3 for
+ADD/TRIAD) over the best time. Times are queued->end (launch overhead
+included), matching how the paper's small-array points roll off.
+
+``StreamLocus.HOST`` measures the host<->device interconnect instead:
+a timed ``enqueue_write_buffer`` + ``enqueue_read_buffer`` per
+repetition, counting the bytes crossing PCIe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BenchmarkError, ReproError, ValidationError
+from ..ocl import Buffer, CommandQueue, Context, Program
+from ..ocl.platform import Device, find_device
+from .generator import GeneratedKernel, generate
+from .kernels import KERNELS, SCALAR_Q, initial_arrays
+from .params import StreamLocus, TuningParameters
+from .results import RunResult
+from .validate import validate_solution
+
+__all__ = ["BenchmarkRunner"]
+
+
+class BenchmarkRunner:
+    """Runs tuning-parameter points on one target device."""
+
+    def __init__(
+        self,
+        device: Device | str,
+        *,
+        ntimes: int = 5,
+        warmup: int = 1,
+        validate: bool = True,
+    ):
+        if isinstance(device, str):
+            device = find_device(device)
+        if ntimes < 1:
+            raise BenchmarkError(f"ntimes must be >= 1, got {ntimes}")
+        self.device = device
+        self.ntimes = ntimes
+        self.warmup = warmup
+        self.validate = validate
+
+    @property
+    def target(self) -> str:
+        return self.device.short_name
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, params: TuningParameters) -> RunResult:
+        """Run one parameter point; never raises for per-point failures.
+
+        Build failures (including FPGA resource overflows) and
+        validation failures come back as a failed :class:`RunResult`
+        with the reason recorded, so sweeps can keep going — exactly
+        what a long DSE campaign needs.
+        """
+        try:
+            if params.locus is StreamLocus.HOST:
+                return self._run_host_stream(params)
+            return self._run_device_stream(params)
+        except ValidationError as exc:
+            return RunResult(
+                target=self.target,
+                params=params,
+                times=(),
+                moved_bytes=params.moved_bytes,
+                validated=False,
+                error=f"validation: {exc}",
+            )
+        except ReproError as exc:
+            return RunResult(
+                target=self.target,
+                params=params,
+                times=(),
+                moved_bytes=params.moved_bytes,
+                validated=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def run_all_kernels(self, params: TuningParameters) -> list[RunResult]:
+        """Run COPY/SCALE/ADD/TRIAD at the same parameter point."""
+        return [self.run(params.with_(kernel=k)) for k in KERNELS]
+
+    # -- device-stream mode -------------------------------------------------------
+
+    def _run_device_stream(self, params: TuningParameters) -> RunResult:
+        gen = generate(params)
+        ctx = Context(self.device)
+        queue = CommandQueue(ctx, self.device)
+        program = Program(ctx, gen.source).build(defines=gen.defines)
+        kernel = program.create_kernel(gen.kernel_name)
+
+        initial = initial_arrays(params.word_count, params.dtype)
+        buffers = self._make_buffers(ctx, params, initial, gen)
+        self._bind(kernel, params, buffers)
+
+        for _ in range(self.warmup):
+            queue.enqueue_nd_range_kernel(kernel, gen.global_size, gen.local_size)
+        times = []
+        last_detail: dict[str, object] = {}
+        for _ in range(self.ntimes):
+            event = queue.enqueue_nd_range_kernel(
+                kernel, gen.global_size, gen.local_size
+            )
+            times.append(event.latency)
+            last_detail = dict(event.detail)
+
+        validated = False
+        if self.validate:
+            observed = {
+                name: buffers[name].view(initial[name].dtype).copy()
+                for name in ("a", "b", "c")
+            }
+            validate_solution(
+                params.kernel,
+                params.dtype,
+                initial,
+                observed,
+                touched_words=gen.touched_words,
+            )
+            validated = True
+
+        last_detail["build_log"] = program.build_log(self.device)
+        last_detail["generated_source"] = gen.source
+        return RunResult(
+            target=self.target,
+            params=params,
+            times=tuple(times),
+            moved_bytes=params.moved_bytes,
+            validated=validated,
+            detail=last_detail,
+        )
+
+    def _make_buffers(
+        self,
+        ctx: Context,
+        params: TuningParameters,
+        initial: dict[str, np.ndarray],
+        gen: GeneratedKernel,
+    ) -> dict[str, Buffer]:
+        buffers: dict[str, Buffer] = {}
+        for name in ("a", "b", "c"):
+            buffers[name] = ctx.create_buffer(hostbuf=initial[name])
+            # pre-place on the device so warm-up measures steady state
+            buffers[name].residency = "device"
+        _ = gen
+        return buffers
+
+    def _bind(
+        self,
+        kernel: "object",
+        params: TuningParameters,
+        buffers: dict[str, Buffer],
+    ) -> None:
+        spec = KERNELS[params.kernel]
+        named: dict[str, object] = {
+            name: buffers[name] for name in (*spec.reads, spec.writes)
+        }
+        if spec.uses_scalar:
+            named["q"] = SCALAR_Q
+        kernel.set_args(**named)  # type: ignore[attr-defined]
+
+    # -- host-stream (PCIe) mode ------------------------------------------------------
+
+    def _run_host_stream(self, params: TuningParameters) -> RunResult:
+        """Measure host->device->host streaming over the interconnect."""
+        ctx = Context(self.device)
+        queue = CommandQueue(ctx, self.device)
+        initial = initial_arrays(params.word_count, params.dtype)
+        src = initial["a"]
+        dst = np.empty_like(src)
+        buffer = ctx.create_buffer(size=params.array_bytes)
+
+        times = []
+        for _ in range(self.warmup + self.ntimes):
+            w = queue.enqueue_write_buffer(buffer, src)
+            r = queue.enqueue_read_buffer(buffer, dst)
+            times.append((w.end - w.queued) + (r.end - r.queued))
+        times = times[self.warmup :]
+
+        validated = False
+        if self.validate:
+            if not np.array_equal(dst, src):
+                raise ValidationError("host-stream round trip corrupted data")
+            validated = True
+        return RunResult(
+            target=self.target,
+            params=params,
+            times=tuple(times),
+            moved_bytes=2 * params.array_bytes,  # one write + one read
+            validated=validated,
+            detail={"mode": "host-stream"},
+        )
+
+
+def optimal_loop_for(device: Device | str) -> "object":
+    """The loop management each target prefers (the paper's Fig 3 winners)."""
+    from .params import LoopManagement
+
+    short = device if isinstance(device, str) else device.short_name
+    return {
+        "cpu": LoopManagement.NDRANGE,
+        "gpu": LoopManagement.NDRANGE,
+        "aocl": LoopManagement.FLAT,
+        "sdaccel": LoopManagement.NESTED,
+    }.get(short, LoopManagement.NDRANGE)

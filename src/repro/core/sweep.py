@@ -1,0 +1,90 @@
+"""Design-space sweeps.
+
+The point of MP-STREAM is not one number but a *campaign*: a cartesian
+sweep over tuning axes per target, tolerant of per-point failures (an
+FPGA configuration that doesn't fit is a data point, not a crash).
+:class:`ParameterSweep` builds the grid; :func:`explore` runs it and
+returns a :class:`~repro.core.results.ResultSet`; :func:`best_configuration`
+is the simple automated-DSE entry point the paper motivates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from ..errors import SweepError
+from .params import TuningParameters
+from .results import ResultSet, RunResult
+from .runner import BenchmarkRunner
+
+__all__ = ["ParameterSweep", "explore", "best_configuration"]
+
+
+@dataclass
+class ParameterSweep:
+    """A cartesian grid of tuning-parameter points.
+
+    ``axes`` maps :class:`TuningParameters` field names to value lists;
+    ``base`` supplies every unswept field. Invalid combinations (the
+    dataclass validates on construction) are skipped and reported via
+    :attr:`skipped`.
+    """
+
+    base: TuningParameters = field(default_factory=TuningParameters)
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        valid = set(TuningParameters.__dataclass_fields__)
+        unknown = set(self.axes) - valid
+        if unknown:
+            raise SweepError(
+                f"unknown sweep axes {sorted(unknown)}; valid: {sorted(valid)}"
+            )
+        for name, values in self.axes.items():
+            if not values:
+                raise SweepError(f"axis {name!r} has no values")
+        self.skipped: list[tuple[dict[str, object], str]] = []
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def points(self) -> Iterator[TuningParameters]:
+        """All valid points of the grid, row-major in axis order."""
+        self.skipped.clear()
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            changes = dict(zip(names, combo))
+            try:
+                yield self.base.with_(**changes)
+            except SweepError as exc:
+                self.skipped.append((changes, str(exc)))
+
+
+def explore(
+    runner: BenchmarkRunner,
+    sweep: ParameterSweep,
+    *,
+    progress: Callable[[RunResult], None] | None = None,
+) -> ResultSet:
+    """Run every point of a sweep on a target."""
+    results = ResultSet()
+    for params in sweep.points():
+        result = runner.run(params)
+        results.add(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def best_configuration(
+    runner: BenchmarkRunner,
+    sweep: ParameterSweep,
+) -> tuple[RunResult | None, ResultSet]:
+    """Automated DSE: run the sweep, return (winner, full results)."""
+    results = explore(runner, sweep)
+    return results.best(), results

@@ -1,0 +1,58 @@
+"""STREAM-style solution validation.
+
+stream.c checks that the arrays, after all timed iterations, match the
+analytically expected values to within an epsilon. Our kernels are
+idempotent across repetitions (each reads inputs that no repetition
+mutates), so the expected state is a single :func:`~repro.core.kernels.reference`
+application; integer kernels must match exactly, floating-point kernels
+to a relative epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .kernels import reference
+from .params import DataType, KernelName
+
+__all__ = ["validate_solution", "EPSILON"]
+
+#: relative tolerance per data type
+EPSILON = {
+    DataType.INT: 0.0,
+    DataType.FLOAT: 1e-6,
+    DataType.DOUBLE: 1e-13,
+}
+
+
+def validate_solution(
+    kernel: KernelName,
+    dtype: DataType,
+    initial: dict[str, np.ndarray],
+    observed: dict[str, np.ndarray],
+    *,
+    touched_words: int | None = None,
+) -> None:
+    """Raise :class:`~repro.errors.ValidationError` on any mismatch."""
+    expected = reference(kernel, initial, touched_words=touched_words)
+    eps = EPSILON[dtype]
+    for name in ("a", "b", "c"):
+        want = expected[name]
+        got = observed[name]
+        if got.shape != want.shape:
+            raise ValidationError(
+                f"array {name!r}: shape {got.shape} != expected {want.shape}"
+            )
+        if eps == 0.0:
+            bad = np.nonzero(got != want)[0]
+        else:
+            denom = np.maximum(np.abs(want), 1.0)
+            bad = np.nonzero(np.abs(got - want) > eps * denom)[0]
+        if bad.size:
+            i = int(bad[0])
+            raise ValidationError(
+                f"kernel {kernel}: array {name!r} diverges at word {i}: "
+                f"got {got[i]!r}, expected {want[i]!r} "
+                f"({bad.size} of {want.size} words wrong)"
+            )

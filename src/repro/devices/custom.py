@@ -1,0 +1,131 @@
+"""User-defined device specs from plain dictionaries.
+
+The real MP-STREAM invited the community to contribute results from
+their own boards; the reproduction's analogue is letting users describe
+a target as data (a dict, trivially loadable from JSON/TOML) and get a
+working device model back::
+
+    spec = spec_from_dict({
+        "kind": "fpga",
+        "short_name": "myboard",
+        "name": "My Dev Board",
+        "vendor": "Altera",
+        "peak_bandwidth_gbs": 34.1,
+        "base_fmax_mhz": 280,
+        "dram": {"channels": 2, "banks_per_channel": 8,
+                 "row_bytes": 2048},
+    })
+    device = device_from_dict({...})       # ocl.Device, ready for a Context
+
+Unknown keys are rejected loudly — a typo in a board file should never
+silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Mapping
+
+from ..errors import InvalidValueError
+from ..memsim.dram import DramSpec
+from ..memsim.pcie import PcieLink
+from ..units import GB, GIB, MHZ, US
+from . import model_for_spec
+from .specs import CpuSpec, DeviceSpec, FpgaSpec, GpuSpec
+
+__all__ = ["spec_from_dict", "device_from_dict"]
+
+_KINDS: dict[str, type[DeviceSpec]] = {
+    "cpu": CpuSpec,
+    "gpu": GpuSpec,
+    "fpga": FpgaSpec,
+}
+
+_DEVICE_TYPE = {"cpu": "cpu", "gpu": "gpu", "fpga": "accelerator"}
+
+
+def _build_dram(data: Mapping[str, Any], peak_gbs: float) -> DramSpec:
+    allowed = {f.name for f in fields(DramSpec)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise InvalidValueError(f"unknown dram keys {sorted(unknown)}")
+    merged: dict[str, Any] = {
+        "name": "custom-dram",
+        "channels": 2,
+        "banks_per_channel": 8,
+        "row_bytes": 2048,
+        "peak_bandwidth": peak_gbs * GB,
+    }
+    merged.update(data)
+    return DramSpec(**merged)
+
+
+def _build_pcie(data: Mapping[str, Any]) -> PcieLink:
+    allowed = {f.name for f in fields(PcieLink)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise InvalidValueError(f"unknown pcie keys {sorted(unknown)}")
+    return PcieLink(**data)
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> DeviceSpec:
+    """Build a :class:`DeviceSpec` subclass from a plain mapping.
+
+    Required keys: ``kind`` ("cpu"/"gpu"/"fpga"), ``short_name``,
+    ``name``, ``vendor``, ``peak_bandwidth_gbs``. Everything else has
+    sensible defaults; nested ``dram`` and ``pcie`` mappings override
+    the memory-system and interconnect models. FPGA specs also accept
+    ``base_fmax_mhz`` as a convenience.
+    """
+    payload = dict(data)
+    try:
+        kind = payload.pop("kind")
+    except KeyError:
+        raise InvalidValueError('spec dict needs a "kind" (cpu/gpu/fpga)') from None
+    if kind not in _KINDS:
+        raise InvalidValueError(f"unknown kind {kind!r}; expected {sorted(_KINDS)}")
+    cls = _KINDS[kind]
+
+    for required in ("short_name", "name", "vendor", "peak_bandwidth_gbs"):
+        if required not in payload:
+            raise InvalidValueError(f"spec dict is missing {required!r}")
+    peak = float(payload["peak_bandwidth_gbs"])
+
+    dram = _build_dram(payload.pop("dram", {}), peak)
+    pcie = _build_pcie(payload.pop("pcie", {}))
+
+    if kind == "fpga" and "base_fmax_mhz" in payload:
+        payload["base_fmax_hz"] = float(payload.pop("base_fmax_mhz")) * MHZ
+
+    defaults: dict[str, Any] = {
+        "device_type": _DEVICE_TYPE[kind],
+        "core_clock_hz": payload.get(
+            "base_fmax_hz", 2.0e9 if kind == "cpu" else 1.0e9
+        ),
+        "compute_units": 4 if kind == "cpu" else (16 if kind == "gpu" else 1),
+        "global_mem_bytes": 8 * GIB,
+        "max_work_group_size": 1024,
+        "launch_overhead_s": 30 * US,
+        "dram": dram,
+        "pcie": pcie,
+    }
+    if kind == "fpga":
+        defaults["logic_cells"] = 400_000
+        defaults["bram_kbits"] = 40_000
+        defaults["dsp_blocks"] = 1500
+
+    merged = {**defaults, **payload}
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(merged) - allowed
+    if unknown:
+        raise InvalidValueError(
+            f"unknown spec keys for kind {kind!r}: {sorted(unknown)}"
+        )
+    return cls(**merged)
+
+
+def device_from_dict(data: Mapping[str, Any]) -> "object":
+    """Build a ready-to-use :class:`repro.ocl.platform.Device`."""
+    from ..ocl.platform import Device
+
+    return Device(model_for_spec(spec_from_dict(data)))

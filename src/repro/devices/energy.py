@@ -1,0 +1,134 @@
+"""Energy-efficiency model (the paper's declared future-work axis).
+
+§IV: "What we have not considered in this paper is the energy-efficiency
+of the devices, but that is one area where FPGAs can still win in spite
+of the higher achievable bandwidths on GPUs."
+
+The model splits board power the standard way:
+
+* **static power** — drawn for the whole kernel duration regardless of
+  activity (idle silicon, regulators, fans);
+* **dynamic transfer energy** — picojoules per byte moved through the
+  memory system (DRAM I/O dominates for STREAM-shaped kernels);
+* **dynamic compute energy** — picojoules per ALU lane-op, negligible
+  here but kept for completeness.
+
+Constants come from public board TDPs and DDR3/GDDR5 energy-per-bit
+literature; like the timing specs, they are fixed once in
+:data:`ENERGY_SPECS`. The figure the paper predicts emerges directly:
+the GPU wins raw bandwidth, the FPGAs win bytes-per-joule once their
+pipelines are vectorized enough to amortize static power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.results import RunResult
+from ..errors import InvalidValueError
+
+__all__ = ["EnergySpec", "EnergyReport", "ENERGY_SPECS", "energy_report"]
+
+_PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Power/energy characteristics of one target board."""
+
+    short_name: str
+    #: board power with a kernel resident but idle, watts
+    static_w: float
+    #: energy per byte through the memory system, joules
+    transfer_j_per_byte: float
+    #: energy per scalar ALU operation, joules
+    alu_j_per_op: float
+
+    def __post_init__(self) -> None:
+        if self.static_w < 0 or self.transfer_j_per_byte < 0:
+            raise InvalidValueError("energy constants must be non-negative")
+
+
+#: Calibration: board TDP-class static draw plus DRAM-technology
+#: transfer energy (DDR3 ~ 60-70 pJ/B at the board level including the
+#: controller; GDDR5 ~ 55-75 pJ/B; FPGA fabric adds little for LSUs).
+ENERGY_SPECS: dict[str, EnergySpec] = {
+    # Xeon package power under a memory-bound load
+    "cpu": EnergySpec("cpu", static_w=60.0, transfer_j_per_byte=65 * _PJ,
+                      alu_j_per_op=30 * _PJ),
+    # Kepler boards draw 150-200 W even on memory-bound kernels
+    "gpu": EnergySpec("gpu", static_w=170.0, transfer_j_per_byte=70 * _PJ,
+                      alu_j_per_op=15 * _PJ),
+    # Stratix V / Virtex-7 PCIe cards: low-teens watts typical draw
+    "aocl": EnergySpec("aocl", static_w=12.0, transfer_j_per_byte=60 * _PJ,
+                       alu_j_per_op=5 * _PJ),
+    "sdaccel": EnergySpec("sdaccel", static_w=10.0, transfer_j_per_byte=62 * _PJ,
+                          alu_j_per_op=5 * _PJ),
+}
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one benchmark result."""
+
+    target: str
+    seconds: float
+    moved_bytes: int
+    static_j: float
+    transfer_j: float
+    compute_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.transfer_j + self.compute_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_j / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def gb_per_joule(self) -> float:
+        """The efficiency figure of merit: decimal GB moved per joule."""
+        return self.moved_bytes / 1e9 / self.total_j if self.total_j > 0 else 0.0
+
+    @property
+    def pj_per_byte(self) -> float:
+        return self.total_j / self.moved_bytes / _PJ if self.moved_bytes else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"[{self.target}] {self.total_j * 1e3:.2f} mJ "
+            f"({self.average_power_w:.1f} W avg): "
+            f"{self.gb_per_joule:.3f} GB/J, {self.pj_per_byte:.0f} pJ/B"
+        )
+
+
+def energy_report(
+    result: RunResult, spec: EnergySpec | None = None, *, alu_ops: int = 0
+) -> EnergyReport:
+    """Energy accounting for a successful benchmark result.
+
+    ``alu_ops`` is the total scalar operations the kernel performed
+    (available from the kernel IR; zero is a fine approximation for
+    STREAM kernels).
+    """
+    if not result.ok:
+        raise InvalidValueError(
+            f"cannot account energy for a failed result ({result.error})"
+        )
+    if spec is None:
+        try:
+            spec = ENERGY_SPECS[result.target]
+        except KeyError:
+            raise InvalidValueError(
+                f"no energy spec for target {result.target!r}; pass one explicitly"
+            ) from None
+    seconds = result.min_time
+    return EnergyReport(
+        target=result.target,
+        seconds=seconds,
+        moved_bytes=result.moved_bytes,
+        static_j=spec.static_w * seconds,
+        transfer_j=spec.transfer_j_per_byte * result.moved_bytes,
+        compute_j=spec.alu_j_per_op * alu_ops,
+    )

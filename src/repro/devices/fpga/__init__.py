@@ -1,0 +1,21 @@
+"""FPGA target models: HLS pipeline synthesis, resources, fmax, vendors."""
+
+from __future__ import annotations
+
+from .aocl import AoclModel
+from .fmax import estimate_fmax
+from .model import FpgaModel
+from .pipeline import PipelinePlan, synthesize
+from .resources import ResourceReport, estimate_resources
+from .sdaccel import SdaccelModel
+
+__all__ = [
+    "AoclModel",
+    "SdaccelModel",
+    "FpgaModel",
+    "PipelinePlan",
+    "synthesize",
+    "ResourceReport",
+    "estimate_resources",
+    "estimate_fmax",
+]

@@ -1,0 +1,26 @@
+"""Clock-frequency estimation for synthesized kernels.
+
+Achievable fmax falls as the fabric fills: routing congestion stretches
+the critical path roughly linearly in utilization, so we model
+
+    fmax = base_fmax / (1 + alpha * max(0, utilization - floor))
+
+The ``floor`` is the skeleton's own utilization — the near-empty kernel
+achieves the spec's base clock. Calibrated against the paper's Fig 1b:
+per-doubling bandwidth on the FPGAs rises sub-linearly precisely
+because fmax sags as the LSUs widen.
+"""
+
+from __future__ import annotations
+
+from ..specs import FpgaSpec
+from .resources import ResourceReport
+
+__all__ = ["estimate_fmax"]
+
+
+def estimate_fmax(spec: FpgaSpec, report: ResourceReport) -> float:
+    """Achievable kernel clock in Hz for a given resource estimate."""
+    floor = spec.cells_skeleton / spec.logic_cells if spec.logic_cells else 0.0
+    load = max(0.0, report.utilization - floor)
+    return spec.base_fmax_hz / (1.0 + spec.fmax_alpha * load)

@@ -1,0 +1,82 @@
+"""Hypothetical future targets (the paper's outlook, made runnable).
+
+§IV closes with two predictions:
+
+* "the introduction of high-throughput Hybrid-Memory Cube on FPGA
+  boards which have much higher peak bandwidths can change the picture
+  we present in this paper considerably";
+* "FPGA-OpenCL tools can also be expected to mature over time and show
+  more consistent memory performance that takes into account different
+  coding styles."
+
+This module encodes both as additional device specs that plug into the
+same models, so the ablation bench can *measure* how much of the
+paper's picture they change:
+
+* :data:`STRATIX_HMC` — the Stratix V fabric behind a 4-link HMC stack
+  (120 GB/s class peak, many more banks, deep request concurrency);
+* :data:`VIRTEX7_MATURE` — the same Virtex-7 behind a 2018-class
+  toolchain: bursts inferred on flat loops, pipelined work-items,
+  non-blocking LSUs, higher achievable clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..memsim.dram import DramSpec
+from ..memsim.pcie import PcieLink
+from ..units import GB, GIB, KIB, MHZ, US
+from .fpga import AoclModel, SdaccelModel
+from .specs import STRATIX_V_AOCL, VIRTEX7_SDACCEL
+
+__all__ = ["STRATIX_HMC", "VIRTEX7_MATURE", "future_device_models"]
+
+#: Stratix V fabric + Hybrid Memory Cube: HMC gen2, 4 half-width links.
+#: Vault architecture = massive bank-level parallelism and short rows.
+STRATIX_HMC = replace(
+    STRATIX_V_AOCL,
+    short_name="aocl-hmc",
+    name="Altera Stratix V + 4-link Hybrid Memory Cube (hypothetical)",
+    peak_bandwidth_gbs=120.0,
+    dram=DramSpec(
+        name="HMC gen2, 32 vaults",
+        channels=8,
+        banks_per_channel=32,
+        row_bytes=256,  # HMC's small pages
+        peak_bandwidth=120 * GB,
+        t_row_miss=12e-9,
+        t_row_hit=4e-9,
+        min_transaction_bytes=32,
+        t_rw_turnaround=4e-9,  # packetized links barely care
+        rw_batch=8,
+    ),
+    pcie=PcieLink(generation=3, lanes=8, latency=12e-6),
+    global_mem_bytes=4 * GIB,
+    lsu_outstanding=32,  # packetized protocol sustains deep queues
+    max_burst_bytes=256,
+)
+
+#: Same Virtex-7 silicon behind a matured (2018-class) toolchain.
+VIRTEX7_MATURE = replace(
+    VIRTEX7_SDACCEL,
+    short_name="sdaccel-mature",
+    name="Xilinx Virtex-7 XC7 (matured toolchain, hypothetical)",
+    base_fmax_hz=250 * MHZ,
+    launch_overhead_s=30 * US,
+    flat_loop_bursts=True,  # burst inference regardless of coding style
+    pipelined_workitems=True,
+    workitem_latency_cycles=4,
+    lsu_outstanding=8,
+    blocking_access_cycles=12,
+    max_burst_bytes=4 * KIB,
+)
+
+
+def future_device_models() -> list[tuple[str, str, list]]:
+    """Platform rows for the hypothetical targets (same registry shape
+    as :func:`repro.devices.paper_device_models`)."""
+    return [
+        ("Altera SDK for OpenCL (HMC board)", "Altera", [AoclModel(STRATIX_HMC)]),
+        ("Xilinx SDAccel (matured)", "Xilinx", [SdaccelModel(VIRTEX7_MATURE)]),
+    ]

@@ -1,0 +1,293 @@
+"""Published specifications (and calibration constants) of the targets.
+
+Each spec records the hardware facts the paper's §IV setup table gives
+(peak bandwidth, device identity), the micro-architectural parameters
+taken from public datasheets, and a small number of calibration
+constants (launch overheads, base pipeline clocks) chosen once so the
+simulated *sustained* numbers land near the paper's measured curves.
+``EXPERIMENTS.md`` records the resulting paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memsim.cache import CacheConfig
+from ..memsim.dram import DramSpec
+from ..memsim.pcie import PcieLink
+from ..units import GB, GIB, KIB, MHZ, MIB, US
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "GpuSpec",
+    "FpgaSpec",
+    "XEON_E5_2609V2",
+    "GTX_TITAN_BLACK",
+    "STRATIX_V_AOCL",
+    "VIRTEX7_SDACCEL",
+    "PAPER_TARGETS",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Identity and memory system of one target."""
+
+    short_name: str
+    name: str
+    vendor: str
+    device_type: str  # "cpu" | "gpu" | "accelerator"
+    core_clock_hz: float
+    compute_units: int
+    global_mem_bytes: int
+    peak_bandwidth_gbs: float
+    max_work_group_size: int
+    dram: DramSpec
+    pcie: PcieLink
+    #: fixed cost of getting a kernel running (enqueue, driver, control)
+    launch_overhead_s: float = 20e-6
+
+
+@dataclass(frozen=True)
+class CpuSpec(DeviceSpec):
+    """A multicore CPU running an OpenCL CPU runtime."""
+
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(10 * MIB, line_bytes=64, ways=20)
+    )
+    #: sustained last-level-cache bandwidth, all cores, bytes/s
+    llc_bandwidth: float = 40 * GB
+    #: single-core DRAM bandwidth (limited by outstanding misses), bytes/s
+    per_core_stream_bw: float = 11 * GB
+    #: achievable fraction of DRAM peak with all cores streaming
+    stream_efficiency: float = 0.80
+    #: data-TLB reach; strided walks beyond this pay page-walk latency
+    tlb_reach_bytes: int = 1536 * 4 * KIB
+    #: amortized page-walk cost per TLB-missing access
+    tlb_miss_s: float = 35e-9
+
+
+@dataclass(frozen=True)
+class GpuSpec(DeviceSpec):
+    """A discrete GPU (SIMT) with GDDR memory."""
+
+    warp_size: int = 32
+    sm_count: int = 15
+    max_warps_per_sm: int = 64
+    registers_per_sm: int = 65536
+    #: average global-memory latency, seconds
+    mem_latency_s: float = 600e-9
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1536 * KIB, line_bytes=128, ways=16)
+    )
+    #: memory transaction (segment) size
+    segment_bytes: int = 128
+    #: sustained fraction of DRAM peak for fully coalesced streams
+    stream_efficiency: float = 0.65
+    #: L2-to-SM bandwidth multiple over DRAM sustained bandwidth
+    l2_bandwidth_factor: float = 4.0
+    #: TLB reach before strided walks thrash address translation
+    tlb_reach_bytes: int = 32 * MIB
+    tlb_miss_s: float = 25e-9
+    #: registers a kernel uses per work-item, per vector lane of width
+    regs_base: int = 16
+    regs_per_lane: int = 4
+
+
+@dataclass(frozen=True)
+class FpgaSpec(DeviceSpec):
+    """An FPGA programmed through an OpenCL HLS toolchain."""
+
+    #: unloaded fabric clock of a near-empty kernel, Hz
+    base_fmax_hz: float = 300 * MHZ
+    #: critical-path growth per unit of utilization: fmax = base/(1+a*u)
+    fmax_alpha: float = 1.0
+    #: logic cells available (ALMs for Altera, LUTs for Xilinx)
+    logic_cells: int = 0
+    bram_kbits: int = 0
+    dsp_blocks: int = 0
+    #: logic cells of the kernel skeleton (control, host interface)
+    cells_skeleton: int = 40_000
+    #: logic cells of one load/store unit, plus per-lane widening cost
+    cells_per_lsu_base: int = 3_000
+    cells_per_lsu_lane: int = 8_000
+    #: logic cells per scalar ALU lane (add/mul datapath)
+    cells_per_alu: int = 1_200
+    #: interconnect/arbitration cells per extra compute unit
+    cells_arbiter: int = 4_000
+    #: BRAM kbits per LSU lane (store/prefetch FIFOs)
+    bram_kbits_per_lane: float = 40.0
+    #: DSP blocks per multiplier lane (doubles need several)
+    dsp_per_mul_lane: int = 4
+    #: outstanding memory requests one load/store unit sustains
+    lsu_outstanding: int = 4
+    #: whether the toolchain infers bursts on flat single-loop kernels
+    flat_loop_bursts: bool = True
+    #: whether the toolchain pipelines NDRange work-items (II=1 issue)
+    pipelined_workitems: bool = True
+    #: issue interval (cycles) per work-item when NOT pipelined
+    workitem_latency_cycles: int = 180
+    #: pipeline fill depth of a memory-streaming loop, cycles
+    pipeline_depth_cycles: int = 120
+    #: maximum burst the LSU can emit, bytes
+    max_burst_bytes: int = 1024
+    #: blocking-access round trip when no bursts are inferred, cycles
+    blocking_access_cycles: int = 36
+
+
+# ---------------------------------------------------------------------------
+# The four paper targets
+# ---------------------------------------------------------------------------
+
+# Intel Xeon E5-2609 v2: 4 cores @ 2.5 GHz, 10 MB L3, 4x DDR3-1333.
+# The paper quotes 34 GB/s peak.
+XEON_E5_2609V2 = CpuSpec(
+    short_name="cpu",
+    name="Intel Xeon CPU E5-2609 v2",
+    vendor="Intel",
+    device_type="cpu",
+    core_clock_hz=2.5e9,
+    compute_units=4,
+    global_mem_bytes=64 * GIB,
+    peak_bandwidth_gbs=34.0,
+    max_work_group_size=8192,
+    dram=DramSpec(
+        name="4x DDR3-1333",
+        channels=4,
+        banks_per_channel=8,
+        row_bytes=8 * KIB,
+        peak_bandwidth=34 * GB,
+        t_row_miss=26e-9,
+        t_row_hit=5e-9,
+        min_transaction_bytes=64,
+    ),
+    pcie=PcieLink(generation=3, lanes=16, latency=1e-6),
+    launch_overhead_s=40 * US,
+)
+
+# NVIDIA GeForce GTX Titan Black: 15 SMX, 889 MHz, 384-bit GDDR5 @ 7 GHz.
+# The paper quotes 336 GB/s peak.
+GTX_TITAN_BLACK = GpuSpec(
+    short_name="gpu",
+    name="NVIDIA GeForce GTX Titan Black",
+    vendor="NVIDIA",
+    device_type="gpu",
+    core_clock_hz=889e6,
+    compute_units=15,
+    global_mem_bytes=6 * GIB,
+    peak_bandwidth_gbs=336.0,
+    max_work_group_size=1024,
+    dram=DramSpec(
+        name="GDDR5 384-bit",
+        channels=6,
+        banks_per_channel=16,
+        row_bytes=2 * KIB,
+        peak_bandwidth=336 * GB,
+        t_row_miss=28e-9,
+        t_row_hit=4e-9,
+        min_transaction_bytes=32,
+    ),
+    pcie=PcieLink(generation=3, lanes=16, latency=8e-6),
+    launch_overhead_s=8 * US,
+    sm_count=15,
+    stream_efficiency=0.75,
+)
+
+# Altera Stratix V GS D5 on a Nallatech PCIe-385N: 2x DDR3-1600 SODIMM.
+# The paper quotes 25 GB/s peak. AOCL 15.1.
+STRATIX_V_AOCL = FpgaSpec(
+    short_name="aocl",
+    name="Altera Stratix V GS D5 (Nallatech PCIe-385, AOCL 15.1)",
+    vendor="Altera",
+    device_type="accelerator",
+    core_clock_hz=316 * MHZ,
+    compute_units=1,
+    global_mem_bytes=8 * GIB,
+    peak_bandwidth_gbs=25.6,
+    max_work_group_size=256,
+    dram=DramSpec(
+        name="2x DDR3-1600 64-bit",
+        channels=2,
+        banks_per_channel=8,
+        row_bytes=2 * KIB,
+        peak_bandwidth=25.6 * GB,
+        t_row_miss=30e-9,
+        t_row_hit=6e-9,
+        min_transaction_bytes=64,
+        t_rw_turnaround=24e-9,
+        rw_batch=2,
+    ),
+    pcie=PcieLink(generation=3, lanes=8, latency=12e-6),
+    launch_overhead_s=50 * US,
+    base_fmax_hz=322 * MHZ,
+    fmax_alpha=1.0,
+    logic_cells=457_000,  # ALMs
+    bram_kbits=39_000,
+    dsp_blocks=1590,
+    cells_skeleton=42_000,
+    cells_per_lsu_base=2_500,
+    cells_per_lsu_lane=8_200,
+    cells_per_alu=1_100,
+    cells_arbiter=2_000,
+    lsu_outstanding=4,
+    flat_loop_bursts=True,
+    pipelined_workitems=True,
+    workitem_latency_cycles=8,
+    pipeline_depth_cycles=120,
+    max_burst_bytes=512,
+    blocking_access_cycles=24,
+)
+
+# Xilinx Virtex-7 XC7VX690T on an Alpha-Data ADM-PCIE-7V3: 1x DDR3-1333.
+# The paper quotes 10 GB/s peak. SDAccel 2015.1.
+VIRTEX7_SDACCEL = FpgaSpec(
+    short_name="sdaccel",
+    name="Xilinx Virtex-7 XC7 (Alpha-Data ADM-PCIE-7V3, SDAccel 2015.1)",
+    vendor="Xilinx",
+    device_type="accelerator",
+    core_clock_hz=95 * MHZ,
+    compute_units=1,
+    global_mem_bytes=16 * GIB,
+    peak_bandwidth_gbs=10.0,
+    max_work_group_size=256,
+    dram=DramSpec(
+        name="DDR3-1333 64-bit",
+        channels=1,
+        banks_per_channel=8,
+        row_bytes=2 * KIB,
+        peak_bandwidth=10 * GB,
+        t_row_miss=32e-9,
+        t_row_hit=6e-9,
+        min_transaction_bytes=64,
+        t_rw_turnaround=24e-9,
+        rw_batch=2,
+    ),
+    pcie=PcieLink(generation=2, lanes=8, latency=15e-6),
+    launch_overhead_s=65 * US,
+    base_fmax_hz=100 * MHZ,
+    fmax_alpha=1.0,
+    logic_cells=433_000,  # LUTs
+    bram_kbits=52_920,
+    dsp_blocks=3600,
+    cells_skeleton=45_000,
+    cells_per_lsu_base=4_000,
+    cells_per_lsu_lane=11_000,
+    cells_per_alu=1_600,
+    cells_arbiter=6_000,
+    lsu_outstanding=1,
+    flat_loop_bursts=False,  # the paper's nested-loop quirk
+    pipelined_workitems=False,
+    workitem_latency_cycles=180,
+    pipeline_depth_cycles=150,
+    max_burst_bytes=4096,
+    blocking_access_cycles=38,
+)
+
+#: The paper's four targets in its presentation order.
+PAPER_TARGETS: tuple[DeviceSpec, ...] = (
+    STRATIX_V_AOCL,
+    VIRTEX7_SDACCEL,
+    XEON_E5_2609V2,
+    GTX_TITAN_BLACK,
+)

@@ -1,0 +1,162 @@
+"""Exception hierarchy for the MP-STREAM reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class. Sub-hierarchies mirror the major
+subsystems: the OpenCL-like runtime, the OpenCL-C front-end, the device
+performance models and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UnitParseError",
+    "OclError",
+    "InvalidValueError",
+    "InvalidOperationError",
+    "BuildError",
+    "LaunchError",
+    "OclcError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "InterpError",
+    "DeviceModelError",
+    "ResourceError",
+    "UnsupportedKernelError",
+    "BenchmarkError",
+    "ValidationError",
+    "SweepError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by :mod:`repro`."""
+
+
+class UnitParseError(ReproError, ValueError):
+    """A human-readable quantity ("4MB", "250MHz") could not be parsed."""
+
+
+# --------------------------------------------------------------------------
+# OpenCL-like runtime (repro.ocl)
+# --------------------------------------------------------------------------
+
+
+class OclError(ReproError):
+    """Base class for runtime-layer errors (contexts, queues, buffers...)."""
+
+
+class InvalidValueError(OclError, ValueError):
+    """An argument to a runtime call is out of range or of the wrong type.
+
+    Analogue of ``CL_INVALID_VALUE``.
+    """
+
+
+class InvalidOperationError(OclError):
+    """The operation is not valid in the object's current state.
+
+    Analogue of ``CL_INVALID_OPERATION`` (e.g. launching a kernel with
+    unbound arguments, or reading a released buffer).
+    """
+
+
+class BuildError(OclError):
+    """Program compilation for a device failed.
+
+    Carries the device name and a build log, like
+    ``clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)``.
+    """
+
+    def __init__(self, message: str, *, device: str = "?", log: str = ""):
+        super().__init__(message)
+        self.device = device
+        self.log = log
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        if self.log:
+            return f"{base} [device={self.device}]\n--- build log ---\n{self.log}"
+        return f"{base} [device={self.device}]"
+
+
+class LaunchError(OclError):
+    """A kernel launch was rejected (bad NDRange, work-group size...)."""
+
+
+# --------------------------------------------------------------------------
+# OpenCL-C front-end (repro.oclc)
+# --------------------------------------------------------------------------
+
+
+class OclcError(ReproError):
+    """Base class for compiler front-end errors."""
+
+    def __init__(self, message: str, *, line: int = 0, col: int = 0):
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.line:
+            return f"{self.line}:{self.col}: {base}"
+        return base
+
+
+class LexError(OclcError):
+    """The tokenizer hit an invalid character or malformed literal."""
+
+
+class ParseError(OclcError):
+    """The parser could not derive a valid AST."""
+
+
+class SemanticError(OclcError):
+    """Type checking / address-space / symbol resolution failed."""
+
+
+class InterpError(OclcError):
+    """The functional interpreter hit an unsupported or invalid construct."""
+
+
+# --------------------------------------------------------------------------
+# Device performance models (repro.devices)
+# --------------------------------------------------------------------------
+
+
+class DeviceModelError(ReproError):
+    """Base class for device-model errors."""
+
+
+class ResourceError(DeviceModelError):
+    """An FPGA design does not fit the target device's resources."""
+
+    def __init__(self, message: str, *, resource: str = "?", used: float = 0.0,
+                 available: float = 0.0):
+        super().__init__(message)
+        self.resource = resource
+        self.used = used
+        self.available = available
+
+
+class UnsupportedKernelError(DeviceModelError):
+    """The device model cannot derive a plan for this kernel shape."""
+
+
+# --------------------------------------------------------------------------
+# Benchmark harness (repro.core)
+# --------------------------------------------------------------------------
+
+
+class BenchmarkError(ReproError):
+    """Base class for harness errors."""
+
+
+class ValidationError(BenchmarkError):
+    """STREAM solution validation failed (results drifted beyond epsilon)."""
+
+
+class SweepError(BenchmarkError):
+    """A design-space sweep was mis-specified."""

@@ -1,0 +1,13 @@
+"""A GPU-STREAM-style baseline (Deakin & McIntosh-Smith, SC'15 poster).
+
+The paper credits GPU-STREAM as the starting point for MP-STREAM
+("This open-source OpenCL benchmark was a useful resource in developing
+our FPGA-oriented version") — so the reproduction carries an
+independent implementation of it as the baseline comparator.
+"""
+
+from __future__ import annotations
+
+from .runner import GpuStreamResult, run_gpu_stream
+
+__all__ = ["GpuStreamResult", "run_gpu_stream"]

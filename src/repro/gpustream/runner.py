@@ -1,0 +1,202 @@
+"""GPU-STREAM benchmark logic on the simulated OpenCL stack.
+
+Faithful to the original's discipline, which differs from both classic
+STREAM and MP-STREAM in ways that matter for cross-checking:
+
+* **NDRange-only, double precision** kernels — the natural GPU coding
+  style (this is exactly the style the paper shows is *wrong* for
+  FPGAs);
+* each timed iteration runs the whole sequence COPY, MUL, ADD, TRIAD,
+  and the arrays *evolve* across iterations (c=a; b=s*c; c=a+b;
+  a=b+s*c), so validation checks the final values against a scalar
+  recurrence rather than a single-step reference;
+* per-kernel times are collected across iterations; the report is the
+  best rate per kernel, GB/s decimal.
+
+Because it shares the runtime and device models with MP-STREAM, its
+numbers must agree with MP-STREAM's NDRange/double configuration — the
+test suite asserts that, which cross-validates both host
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BenchmarkError, ValidationError
+from ..ocl import CommandQueue, Context, Program
+from ..ocl.platform import Device, find_device
+from ..units import MIB, bandwidth_gbs
+
+__all__ = ["GpuStreamResult", "run_gpu_stream"]
+
+_KERNEL_SOURCE = """
+__kernel void copy(__global const double *a, __global double *c) {
+    size_t i = get_global_id(0);
+    c[i] = a[i];
+}
+
+__kernel void mul(__global double *b, __global const double *c,
+                  const double scalar) {
+    size_t i = get_global_id(0);
+    b[i] = scalar * c[i];
+}
+
+__kernel void add(__global const double *a, __global const double *b,
+                  __global double *c) {
+    size_t i = get_global_id(0);
+    c[i] = a[i] + b[i];
+}
+
+__kernel void triad(__global double *a, __global const double *b,
+                    __global const double *c, const double scalar) {
+    size_t i = get_global_id(0);
+    a[i] = b[i] + scalar * c[i];
+}
+
+__kernel void dot_partial(__global const double *a, __global const double *b,
+                          __global double *p) {
+    size_t i = get_global_id(0);
+    p[i] = a[i] * b[i];
+}
+"""
+
+#: GPU-STREAM's traditional initial values and scalar
+_INIT_A, _INIT_B, _INIT_C = 1.0, 2.0, 0.0
+_SCALAR = 3.0
+
+#: bytes moved per element, per kernel (STREAM counting; DOT reads two
+#: arrays -- BabelStream, GPU-STREAM's successor, counts it as 2)
+_BYTES_FACTOR = {"copy": 2, "mul": 2, "add": 3, "triad": 3, "dot": 2}
+
+
+@dataclass(frozen=True)
+class GpuStreamResult:
+    """Per-kernel best/average rates from one GPU-STREAM run."""
+
+    kernel: str
+    array_bytes: int
+    times: tuple[float, ...]
+    moved_bytes: int
+
+    @property
+    def min_time(self) -> float:
+        return min(self.times)
+
+    @property
+    def avg_time(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return bandwidth_gbs(self.moved_bytes, self.min_time)
+
+
+def _expected_final(ntimes: int) -> tuple[float, float, float]:
+    """Evolve the scalar recurrence the kernel sequence implements."""
+    a, b, c = _INIT_A, _INIT_B, _INIT_C
+    for _ in range(ntimes):
+        c = a
+        b = _SCALAR * c
+        c = a + b
+        a = b + _SCALAR * c
+    return a, b, c
+
+
+def run_gpu_stream(
+    device: Device | str = "gpu",
+    *,
+    array_bytes: int = 32 * MIB,
+    ntimes: int = 10,
+    validate: bool = True,
+    with_dot: bool = False,
+) -> dict[str, GpuStreamResult]:
+    """Run the GPU-STREAM sequence on a (simulated) device.
+
+    Returns per-kernel results keyed by GPU-STREAM's kernel names
+    (``copy``/``mul``/``add``/``triad``). ``with_dot=True`` adds the
+    DOT kernel BabelStream (GPU-STREAM's successor) introduced: the
+    device computes elementwise products into a partial buffer (real
+    implementations reduce per work-group in local memory; the final
+    host-side reduction is excluded from the timing either way).
+    """
+    if isinstance(device, str):
+        device = find_device(device)
+    if ntimes < 1:
+        raise BenchmarkError(f"ntimes must be >= 1, got {ntimes}")
+    n = array_bytes // 8
+    if n < 1:
+        raise BenchmarkError("array smaller than one double")
+    array_bytes = n * 8
+
+    ctx = Context(device)
+    queue = CommandQueue(ctx, device)
+    program = Program(ctx, _KERNEL_SOURCE).build()
+
+    host = {
+        "a": np.full(n, _INIT_A),
+        "b": np.full(n, _INIT_B),
+        "c": np.full(n, _INIT_C),
+    }
+    bufs = {name: ctx.create_buffer(hostbuf=arr) for name, arr in host.items()}
+    for buf in bufs.values():
+        buf.residency = "device"
+
+    kernels = {
+        "copy": program.create_kernel("copy").set_args(a=bufs["a"], c=bufs["c"]),
+        "mul": program.create_kernel("mul").set_args(
+            b=bufs["b"], c=bufs["c"], scalar=_SCALAR
+        ),
+        "add": program.create_kernel("add").set_args(
+            a=bufs["a"], b=bufs["b"], c=bufs["c"]
+        ),
+        "triad": program.create_kernel("triad").set_args(
+            a=bufs["a"], b=bufs["b"], c=bufs["c"], scalar=_SCALAR
+        ),
+    }
+
+    partial = None
+    if with_dot:
+        partial = ctx.create_buffer(size=array_bytes)
+        partial.residency = "device"
+        kernels["dot"] = program.create_kernel("dot_partial").set_args(
+            a=bufs["a"], b=bufs["b"], p=partial
+        )
+
+    times: dict[str, list[float]] = {name: [] for name in kernels}
+    for _ in range(ntimes):
+        for name, kernel in kernels.items():
+            event = queue.enqueue_nd_range_kernel(kernel, (n,))
+            times[name].append(event.latency)
+
+    if validate and with_dot:
+        assert partial is not None
+        got = float(np.sum(partial.view(np.float64)))
+        want = float(
+            np.dot(bufs["a"].view(np.float64), bufs["b"].view(np.float64))
+        )
+        if want and abs(got - want) / abs(want) > 1e-8:
+            raise ValidationError(
+                f"GPU-STREAM dot drifted: {got!r} vs {want!r}"
+            )
+    if validate:
+        want_a, want_b, want_c = _expected_final(ntimes)
+        for name, want in (("a", want_a), ("b", want_b), ("c", want_c)):
+            got = bufs[name].view(np.float64)
+            err = np.max(np.abs(got - want) / abs(want))
+            if err > 1e-8:
+                raise ValidationError(
+                    f"GPU-STREAM array {name!r} drifted: relative error {err:.2e}"
+                )
+
+    return {
+        name: GpuStreamResult(
+            kernel=name,
+            array_bytes=array_bytes,
+            times=tuple(ts),
+            moved_bytes=array_bytes * _BYTES_FACTOR[name],
+        )
+        for name, ts in times.items()
+    }

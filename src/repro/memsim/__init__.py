@@ -1,0 +1,48 @@
+"""Memory-system simulation substrate.
+
+Building blocks the device models compose:
+
+* :mod:`repro.memsim.access` — vectorized address-stream generators;
+* :mod:`repro.memsim.cache` — exact set-associative LRU simulation plus
+  the analytic streaming-hit-ratio formulas the models use at scale
+  (validated against the exact simulator in the test suite);
+* :mod:`repro.memsim.coalesce` — grouping element accesses into memory
+  transactions (GPU warp coalescing, FPGA burst inference);
+* :mod:`repro.memsim.dram` — DRAM channel/bank/row-buffer timing;
+* :mod:`repro.memsim.controller` — multi-stream arbitration/contention;
+* :mod:`repro.memsim.pcie` — the host↔device interconnect.
+"""
+
+from __future__ import annotations
+
+from .access import (
+    contiguous_stream,
+    strided_stream,
+    column_major_stream,
+    to_byte_addresses,
+)
+from .cache import Cache, CacheConfig, streaming_hit_ratio
+from .coalesce import CoalesceResult, coalesce_fixed_groups, coalesce_sequential
+from .controller import MemoryController, StreamDemand
+from .dram import DramSpec, DramTiming, simulate_dram, row_locality_efficiency
+from .pcie import PcieLink
+
+__all__ = [
+    "contiguous_stream",
+    "strided_stream",
+    "column_major_stream",
+    "to_byte_addresses",
+    "Cache",
+    "CacheConfig",
+    "streaming_hit_ratio",
+    "CoalesceResult",
+    "coalesce_fixed_groups",
+    "coalesce_sequential",
+    "MemoryController",
+    "StreamDemand",
+    "DramSpec",
+    "DramTiming",
+    "simulate_dram",
+    "row_locality_efficiency",
+    "PcieLink",
+]

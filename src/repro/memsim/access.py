@@ -1,0 +1,76 @@
+"""Vectorized address-stream generators.
+
+A *stream* is a 1-D ``int64`` array of **element indices** in access
+order; :func:`to_byte_addresses` scales it to bytes. These generators
+mirror the access patterns MP-STREAM's kernels produce, and are used
+both by tests (feeding the exact cache/DRAM simulators) and by device
+models when they sample a window of a kernel's accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidValueError
+
+__all__ = [
+    "contiguous_stream",
+    "strided_stream",
+    "column_major_stream",
+    "interleaved_streams",
+    "to_byte_addresses",
+]
+
+
+def contiguous_stream(n: int, *, start: int = 0) -> np.ndarray:
+    """Elements ``start, start+1, ... start+n-1`` — a unit-stride walk."""
+    if n < 0:
+        raise InvalidValueError(f"stream length must be non-negative, got {n}")
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+def strided_stream(n: int, stride: int, *, start: int = 0) -> np.ndarray:
+    """``n`` elements with a fixed element ``stride`` (may be negative)."""
+    if n < 0:
+        raise InvalidValueError(f"stream length must be non-negative, got {n}")
+    if stride == 0:
+        return np.full(n, start, dtype=np.int64)
+    return start + stride * np.arange(n, dtype=np.int64)
+
+
+def column_major_stream(rows: int, cols: int) -> np.ndarray:
+    """Walk a row-major ``rows x cols`` array in column-major order.
+
+    This is the paper's "strided" pattern: consecutive accesses are
+    ``cols`` elements apart, wrapping to the next column after ``rows``
+    accesses. Every element is touched exactly once.
+    """
+    if rows <= 0 or cols <= 0:
+        raise InvalidValueError(f"bad 2-D shape {(rows, cols)}")
+    j, i = np.meshgrid(
+        np.arange(cols, dtype=np.int64), np.arange(rows, dtype=np.int64), indexing="ij"
+    )
+    return (i * cols + j).reshape(-1)
+
+
+def interleaved_streams(streams: list[np.ndarray]) -> np.ndarray:
+    """Round-robin interleave equal-length streams (multi-array kernels).
+
+    Models how a kernel like ADD issues ``b[i], c[i], a[i]`` per
+    iteration: the per-array streams interleave at element granularity.
+    """
+    if not streams:
+        raise InvalidValueError("need at least one stream")
+    length = len(streams[0])
+    if any(len(s) != length for s in streams):
+        raise InvalidValueError("interleaved streams must have equal length")
+    return np.stack(streams, axis=1).reshape(-1)
+
+
+def to_byte_addresses(
+    stream: np.ndarray, element_bytes: int, *, base: int = 0
+) -> np.ndarray:
+    """Scale an element-index stream to byte addresses."""
+    if element_bytes <= 0:
+        raise InvalidValueError(f"element size must be positive, got {element_bytes}")
+    return base + stream.astype(np.int64) * element_bytes

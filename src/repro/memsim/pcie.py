@@ -1,0 +1,67 @@
+"""Host <-> device interconnect (PCI-Express) model.
+
+MP-STREAM's "source/destination of streams" parameter measures
+bandwidth *through* this link. Two regimes matter: small transfers are
+latency-dominated (DMA setup + round trip), large transfers approach
+the link's protocol-limited throughput (TLP header overhead caps
+efficiency well below the raw signalling rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidValueError
+
+__all__ = ["PcieLink"]
+
+#: Per-lane usable rate (bytes/s) after line coding, by PCIe generation.
+_LANE_RATE = {1: 250e6, 2: 500e6, 3: 985e6, 4: 1969e6}
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A PCIe link of a given generation and width."""
+
+    generation: int = 3
+    lanes: int = 8
+    #: DMA setup plus completion latency per transfer, seconds
+    latency: float = 10e-6
+    #: maximum TLP payload, bytes (typical 256)
+    max_payload: int = 256
+    #: TLP header + framing overhead, bytes per packet
+    packet_overhead: int = 26
+
+    def __post_init__(self) -> None:
+        if self.generation not in _LANE_RATE:
+            raise InvalidValueError(f"unknown PCIe generation {self.generation}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise InvalidValueError(f"invalid lane count {self.lanes}")
+
+    @property
+    def raw_bandwidth(self) -> float:
+        """Signalling-rate bandwidth in bytes/second."""
+        return _LANE_RATE[self.generation] * self.lanes
+
+    @property
+    def protocol_efficiency(self) -> float:
+        return self.max_payload / (self.max_payload + self.packet_overhead)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Best sustainable data bandwidth (after TLP overhead)."""
+        return self.raw_bandwidth * self.protocol_efficiency
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` one way."""
+        if nbytes < 0:
+            raise InvalidValueError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return self.latency
+        return self.latency + nbytes / self.peak_bandwidth
+
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Achieved bytes/second for one transfer of ``nbytes``."""
+        if nbytes <= 0:
+            raise InvalidValueError("transfer size must be positive")
+        return nbytes / self.transfer_time(nbytes)

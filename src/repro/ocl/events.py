@@ -1,0 +1,77 @@
+"""Events with OpenCL-style profiling timestamps.
+
+Real OpenCL events expose QUEUED/SUBMIT/START/END counters via
+``clGetEventProfilingInfo``; MP-STREAM derives all of its bandwidth
+numbers from START→END. Our events carry the same four timestamps in
+*virtual device time* (seconds since queue creation), filled in by the
+command queue from the device performance model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import InvalidOperationError
+
+__all__ = ["CommandType", "Event"]
+
+
+class CommandType(enum.Enum):
+    """What kind of command an event tracks (CL_COMMAND_* analogue)."""
+
+    ND_RANGE_KERNEL = "ndrange_kernel"
+    READ_BUFFER = "read_buffer"
+    WRITE_BUFFER = "write_buffer"
+    COPY_BUFFER = "copy_buffer"
+    MIGRATE_MEM_OBJECTS = "migrate_mem_objects"
+    MARKER = "marker"
+
+
+@dataclass
+class Event:
+    """A completed or pending command with profiling info.
+
+    All four timestamps are in seconds of virtual device time. The
+    ``detail`` mapping carries model-specific statistics (transaction
+    counts, stall cycles, achieved burst sizes...) for introspection.
+    """
+
+    command: CommandType
+    queued: float = 0.0
+    submit: float = 0.0
+    start: float = 0.0
+    end: float = 0.0
+    complete: bool = False
+    detail: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """START→END time in seconds (what STREAM measures)."""
+        if not self.complete:
+            raise InvalidOperationError(
+                "profiling info is not available before the event completes"
+            )
+        return self.end - self.start
+
+    @property
+    def latency(self) -> float:
+        """QUEUED→END time, including submission/launch overhead."""
+        if not self.complete:
+            raise InvalidOperationError(
+                "profiling info is not available before the event completes"
+            )
+        return self.end - self.queued
+
+    def profile(self) -> dict[str, float]:
+        """All four counters, like querying each CL_PROFILING_COMMAND_*."""
+        if not self.complete:
+            raise InvalidOperationError(
+                "profiling info is not available before the event completes"
+            )
+        return {
+            "queued": self.queued,
+            "submit": self.submit,
+            "start": self.start,
+            "end": self.end,
+        }

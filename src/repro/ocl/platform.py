@@ -1,0 +1,131 @@
+"""Platforms and devices.
+
+A :class:`Device` pairs an identity (name, vendor, type) with a
+**performance model** from :mod:`repro.devices` that provides build,
+timing and transfer estimates. :func:`get_platforms` assembles the four
+paper targets, one platform per vendor toolchain — mirroring how the
+real machines would enumerate under an OpenCL ICD loader:
+
+* ``Intel(R) OpenCL`` — Xeon E5-2609 v2 CPU
+* ``NVIDIA CUDA`` — GeForce GTX Titan Black GPU
+* ``Altera SDK for OpenCL`` — Stratix V GS D5 (Nallatech PCIe-385)
+* ``Xilinx SDAccel`` — Virtex-7 XC7 (Alpha-Data ADM-PCIE-7V3)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import InvalidValueError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..devices.base import DeviceModel
+
+__all__ = ["Device", "Platform", "get_platforms", "find_device"]
+
+
+class Device:
+    """One compute device, wrapping its performance model."""
+
+    def __init__(self, model: "DeviceModel"):
+        self.model = model
+
+    @property
+    def name(self) -> str:
+        return self.model.spec.name
+
+    @property
+    def vendor(self) -> str:
+        return self.model.spec.vendor
+
+    @property
+    def device_type(self) -> str:
+        """"cpu", "gpu" or "accelerator" (FPGAs enumerate as accelerators)."""
+        return self.model.spec.device_type
+
+    @property
+    def short_name(self) -> str:
+        """The paper's short target tag: aocl / sdaccel / cpu / gpu."""
+        return self.model.spec.short_name
+
+    @property
+    def global_mem_size(self) -> int:
+        return self.model.spec.global_mem_bytes
+
+    @property
+    def max_compute_units(self) -> int:
+        return self.model.spec.compute_units
+
+    def info(self) -> dict[str, object]:
+        """CL_DEVICE_*-style attribute dump."""
+        spec = self.model.spec
+        return {
+            "name": spec.name,
+            "vendor": spec.vendor,
+            "type": spec.device_type,
+            "short_name": spec.short_name,
+            "max_compute_units": spec.compute_units,
+            "max_clock_frequency_mhz": spec.core_clock_hz / 1e6,
+            "global_mem_size": spec.global_mem_bytes,
+            "peak_global_bandwidth_gbs": spec.peak_bandwidth_gbs,
+            "max_work_group_size": spec.max_work_group_size,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"<Device {self.short_name}: {self.name}>"
+
+
+class Platform:
+    """A vendor platform exposing one or more devices."""
+
+    def __init__(self, name: str, vendor: str, devices: Iterable[Device]):
+        self.name = name
+        self.vendor = vendor
+        self.devices = tuple(devices)
+
+    def get_devices(self, device_type: str | None = None) -> tuple[Device, ...]:
+        if device_type is None:
+            return self.devices
+        return tuple(d for d in self.devices if d.device_type == device_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"<Platform {self.name!r} ({len(self.devices)} device(s))>"
+
+
+def get_platforms(include_future: bool = False) -> tuple[Platform, ...]:
+    """Enumerate the simulated platforms (the paper's four targets).
+
+    ``include_future=True`` adds the hypothetical targets from the
+    paper's outlook (HMC-backed FPGA, matured toolchain); see
+    :mod:`repro.devices.future`.
+    """
+    from ..devices import paper_device_models
+
+    rows = list(paper_device_models())
+    if include_future:
+        from ..devices.future import future_device_models
+
+        rows.extend(future_device_models())
+    return tuple(
+        Platform(name, vendor, [Device(m) for m in models])
+        for name, vendor, models in rows
+    )
+
+
+def find_device(short_name: str) -> Device:
+    """Look a device up by its target tag.
+
+    The paper's tags (aocl/sdaccel/cpu/gpu) come from the default
+    registry; the hypothetical future targets (aocl-hmc,
+    sdaccel-mature) resolve too.
+    """
+    for platform in get_platforms(include_future=True):
+        for device in platform.devices:
+            if device.short_name == short_name:
+                return device
+    known = [
+        d.short_name for p in get_platforms(include_future=True) for d in p.devices
+    ]
+    raise InvalidValueError(
+        f"no device {short_name!r}; available: {sorted(known)}"
+    )

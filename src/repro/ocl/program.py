@@ -1,0 +1,110 @@
+"""Programs: source -> per-device builds.
+
+``Program`` mirrors ``clCreateProgramWithSource`` + ``clBuildProgram``:
+the OpenCL-C front-end checks the source once (with the build's ``-D``
+defines), then each device's performance model derives its
+:class:`~repro.devices.base.ExecutionPlan` — the analogue of the vendor
+offline compile, including FPGA resource estimation, which can fail the
+build just like a real place-and-route overflow would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from ..errors import BuildError, InvalidValueError, OclcError, ReproError
+from .context import Context
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..devices.base import BuildOptions, ExecutionPlan
+    from ..oclc import CheckedProgram
+    from .kernel import Kernel
+    from .platform import Device
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An OpenCL program: source plus per-device build artifacts."""
+
+    def __init__(self, context: Context, source: str):
+        self.context = context
+        self.source = source
+        self.checked: "CheckedProgram | None" = None
+        self._plans: dict[str, "ExecutionPlan"] = {}
+        self._build_logs: dict[str, str] = {}
+        self._defines: dict[str, str] = {}
+
+    def build(
+        self,
+        defines: Mapping[str, str | int] | None = None,
+        devices: "tuple[Device, ...] | None" = None,
+        options: "BuildOptions | None" = None,
+    ) -> "Program":
+        """Compile for the given (default: all context) devices.
+
+        Raises :class:`~repro.errors.BuildError` with the offending
+        device's build log on failure, like ``clBuildProgram``.
+        """
+        from ..devices.base import BuildOptions as _BuildOptions
+        from ..oclc import compile_source
+
+        if devices is None:
+            devices = self.context.devices
+        self._defines = {k: str(v) for k, v in (defines or {}).items()}
+        if options is None:
+            options = _BuildOptions(defines=self._defines)
+        else:
+            options = options.with_defines(self._defines)
+
+        try:
+            self.checked = compile_source(self.source, self._defines)
+        except OclcError as exc:
+            raise BuildError(
+                f"front-end error: {exc}", device="<front-end>", log=str(exc)
+            ) from exc
+
+        for device in devices:
+            try:
+                plan = device.model.build(self.checked, options)
+            except ReproError as exc:
+                self._build_logs[device.short_name] = str(exc)
+                raise BuildError(
+                    f"build failed for {device.short_name}",
+                    device=device.short_name,
+                    log=str(exc),
+                ) from exc
+            self._plans[device.short_name] = plan
+            self._build_logs[device.short_name] = plan.build_log
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def build_log(self, device: "Device") -> str:
+        """The device's build log (clGetProgramBuildInfo analogue)."""
+        return self._build_logs.get(device.short_name, "")
+
+    def plan_for(self, device: "Device") -> "ExecutionPlan":
+        try:
+            return self._plans[device.short_name]
+        except KeyError:
+            raise InvalidValueError(
+                f"program was not built for device {device.short_name!r}"
+            ) from None
+
+    @property
+    def defines(self) -> dict[str, str]:
+        return dict(self._defines)
+
+    def create_kernel(self, name: str) -> "Kernel":
+        """Instantiate a kernel object for ``name``."""
+        from .kernel import Kernel
+
+        if self.checked is None:
+            raise InvalidValueError("program must be built before creating kernels")
+        return Kernel(self, name)
+
+    def kernel_names(self) -> tuple[str, ...]:
+        if self.checked is None:
+            raise InvalidValueError("program must be built first")
+        return tuple(f.name for f in self.checked.unit.functions if f.is_kernel)

@@ -1,0 +1,334 @@
+"""Scalar and vector type system for the OpenCL-C subset.
+
+OpenCL C defines scalar types (``char`` ... ``double``) and vector types
+(``int4``, ``double2``, ...) with 2/3/4/8/16 lanes. MP-STREAM's tuning
+space uses the vector width as its memory-coalescing knob, so the type
+system is load-bearing: the width of the pointee type of a kernel
+argument determines the memory transaction size the device models see.
+
+Types are interned: :func:`scalar` and :func:`vector` return shared
+instances, so identity comparison works and types can be dict keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Final
+
+import numpy as np
+
+from ..errors import InvalidValueError
+
+__all__ = [
+    "ScalarKind",
+    "Type",
+    "ScalarType",
+    "VectorType",
+    "PointerType",
+    "VoidType",
+    "scalar",
+    "vector",
+    "pointer",
+    "VOID",
+    "CHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "ULONG",
+    "FLOAT",
+    "DOUBLE",
+    "BOOL",
+    "SIZE_T",
+    "VECTOR_WIDTHS",
+    "parse_type_name",
+    "ADDRESS_SPACES",
+]
+
+#: Lane counts OpenCL C allows for vector types.
+VECTOR_WIDTHS: Final[tuple[int, ...]] = (2, 3, 4, 8, 16)
+
+#: Address-space qualifiers of OpenCL C.
+ADDRESS_SPACES: Final[tuple[str, ...]] = ("__global", "__local", "__constant", "__private")
+
+_SCALAR_SPECS: Final[dict[str, tuple[str, int, bool, bool]]] = {
+    # name: (numpy dtype, size bytes, is_float, is_signed)
+    "char": ("int8", 1, False, True),
+    "uchar": ("uint8", 1, False, False),
+    "short": ("int16", 2, False, True),
+    "ushort": ("uint16", 2, False, False),
+    "int": ("int32", 4, False, True),
+    "uint": ("uint32", 4, False, False),
+    "long": ("int64", 8, False, True),
+    "ulong": ("uint64", 8, False, False),
+    "float": ("float32", 4, True, True),
+    "double": ("float64", 8, True, True),
+    "bool": ("bool", 1, False, False),
+    "size_t": ("uint64", 8, False, False),
+}
+
+
+class Type:
+    """Base class for all types. Instances are immutable and interned."""
+
+    #: total size in bytes of one value of this type
+    size: int
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The ``void`` type (kernel return type only)."""
+
+    size: int = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class ScalarKind:
+    """Shared description of a scalar base type (also used by vectors)."""
+
+    name: str
+    dtype_name: str
+    size: int
+    floating: bool
+    signed: bool
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.dtype_name)
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """An OpenCL scalar type such as ``int`` or ``double``."""
+
+    kind: ScalarKind
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.kind.size
+
+    @property
+    def name(self) -> str:
+        return self.kind.name
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.kind.dtype
+
+    def is_numeric(self) -> bool:
+        return self.kind.name != "bool"
+
+    def is_float(self) -> bool:
+        return self.kind.floating
+
+    def is_integer(self) -> bool:
+        return not self.kind.floating and self.kind.name != "bool"
+
+    def __str__(self) -> str:
+        return self.kind.name
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    """An OpenCL vector type such as ``int4`` (``width`` lanes of ``kind``)."""
+
+    kind: ScalarKind
+    width: int
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.kind.size * self.width
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.name}{self.width}"
+
+    @property
+    def element(self) -> "ScalarType":
+        return scalar(self.kind.name)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.kind.dtype
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def is_float(self) -> bool:
+        return self.kind.floating
+
+    def is_integer(self) -> bool:
+        return not self.kind.floating
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer into an OpenCL address space.
+
+    ``size`` is the pointer's own size (8 bytes); the pointee's layout is
+    what the device memory models care about.
+    """
+
+    pointee: Type
+    address_space: str = "__global"
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.address_space not in ADDRESS_SPACES:
+            raise InvalidValueError(
+                f"unknown address space {self.address_space!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.address_space} {self.pointee}*"
+
+
+_SCALAR_CACHE: dict[str, ScalarType] = {}
+_VECTOR_CACHE: dict[tuple[str, int], VectorType] = {}
+
+VOID = VoidType()
+
+
+def scalar(name: str) -> ScalarType:
+    """Return the interned scalar type for ``name`` ("int", "double", ...)."""
+    try:
+        return _SCALAR_CACHE[name]
+    except KeyError:
+        pass
+    if name not in _SCALAR_SPECS:
+        raise InvalidValueError(f"unknown scalar type {name!r}")
+    dtype_name, size, floating, signed = _SCALAR_SPECS[name]
+    ty = ScalarType(ScalarKind(name, dtype_name, size, floating, signed))
+    _SCALAR_CACHE[name] = ty
+    return ty
+
+
+def vector(base: str | ScalarType, width: int) -> VectorType:
+    """Return the interned vector type ``<base><width>`` (e.g. int4).
+
+    ``width == 1`` is not a vector in OpenCL; callers wanting a
+    width-parametric type should use :func:`widen` instead.
+    """
+    base_name = base.name if isinstance(base, ScalarType) else base
+    key = (base_name, width)
+    try:
+        return _VECTOR_CACHE[key]
+    except KeyError:
+        pass
+    if width not in VECTOR_WIDTHS:
+        raise InvalidValueError(
+            f"invalid vector width {width}; OpenCL allows {VECTOR_WIDTHS}"
+        )
+    ty = VectorType(scalar(base_name).kind, width)
+    _VECTOR_CACHE[key] = ty
+    return ty
+
+
+def widen(base: str | ScalarType, width: int) -> ScalarType | VectorType:
+    """Scalar for width 1, vector otherwise — the MP-STREAM "vec width" knob."""
+    if width == 1:
+        return base if isinstance(base, ScalarType) else scalar(base)
+    return vector(base, width)
+
+
+def pointer(pointee: Type, address_space: str = "__global") -> PointerType:
+    """Build a pointer type (not interned; cheap and rarely compared)."""
+    return PointerType(pointee, address_space)
+
+
+CHAR = scalar("char")
+UCHAR = scalar("uchar")
+SHORT = scalar("short")
+USHORT = scalar("ushort")
+INT = scalar("int")
+UINT = scalar("uint")
+LONG = scalar("long")
+ULONG = scalar("ulong")
+FLOAT = scalar("float")
+DOUBLE = scalar("double")
+BOOL = scalar("bool")
+SIZE_T = scalar("size_t")
+
+_TYPE_NAME_RE_CACHE: dict[str, Type] = {}
+
+
+def parse_type_name(name: str) -> Type:
+    """Parse a type name like ``"int"``, ``"double16"`` or ``"void"``.
+
+    >>> parse_type_name("int4").size
+    16
+    """
+    if name in _TYPE_NAME_RE_CACHE:
+        return _TYPE_NAME_RE_CACHE[name]
+    if name == "void":
+        return VOID
+    ty: Type
+    if name in _SCALAR_SPECS:
+        ty = scalar(name)
+    else:
+        # try trailing integer suffix -> vector
+        base = name.rstrip("0123456789")
+        suffix = name[len(base):]
+        if not suffix or base not in _SCALAR_SPECS:
+            raise InvalidValueError(f"unknown type name {name!r}")
+        ty = vector(base, int(suffix))
+    _TYPE_NAME_RE_CACHE[name] = ty
+    return ty
+
+
+def common_numeric_type(a: Type, b: Type) -> Type:
+    """Usual-arithmetic-conversions result type for a binary operation.
+
+    Vector op scalar broadcasts to the vector type; mixed widths are an
+    error (as in OpenCL C). Mixed int/float promotes to float; the wider
+    scalar wins otherwise.
+    """
+    if isinstance(a, VectorType) and isinstance(b, VectorType):
+        if a.width != b.width:
+            raise InvalidValueError(
+                f"vector width mismatch: {a} vs {b}"
+            )
+        kind = _promote_kind(a.kind, b.kind)
+        return vector(kind.name, a.width)
+    if isinstance(a, VectorType):
+        if not isinstance(b, ScalarType):
+            raise InvalidValueError(f"cannot combine {a} with {b}")
+        kind = _promote_kind(a.kind, b.kind)
+        return vector(kind.name, a.width)
+    if isinstance(b, VectorType):
+        return common_numeric_type(b, a)
+    if isinstance(a, ScalarType) and isinstance(b, ScalarType):
+        return scalar(_promote_kind(a.kind, b.kind).name)
+    raise InvalidValueError(f"cannot combine {a} with {b}")
+
+
+def _promote_kind(a: ScalarKind, b: ScalarKind) -> ScalarKind:
+    if a.floating and not b.floating:
+        return a
+    if b.floating and not a.floating:
+        return b
+    if a.floating and b.floating:
+        return a if a.size >= b.size else b
+    # both integer: wider wins; same width, unsigned wins (C rules, simplified)
+    if a.size != b.size:
+        return a if a.size > b.size else b
+    if a.signed == b.signed:
+        return a
+    return a if not a.signed else b

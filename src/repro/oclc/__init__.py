@@ -1,0 +1,54 @@
+"""OpenCL-C subset front-end: lexer, parser, semantics, execution, analysis.
+
+Typical pipeline::
+
+    from repro.oclc import compile_source
+    checked = compile_source(src, defines={"ARRAY_SIZE": "1024"})
+    ir = analyze(checked)            # device models consume this
+    fast = specialize(checked)       # vectorized functional execution
+    fast.run((1024,), {...})
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .analysis import KernelIR, LoopMode, MemAccess, analyze, classify_stride, index_stream
+from .cast import TranslationUnit, to_source
+from .fold import fold_expr, fold_stmt, fold_unit
+from .interp import BufferArg, KernelInterpreter, run_kernel
+from .lexer import tokenize
+from .parser import parse
+from .semantic import CheckedProgram, check
+from .specialize import SpecializedKernel, specialize
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "check",
+    "compile_source",
+    "analyze",
+    "specialize",
+    "run_kernel",
+    "BufferArg",
+    "KernelInterpreter",
+    "SpecializedKernel",
+    "CheckedProgram",
+    "KernelIR",
+    "LoopMode",
+    "MemAccess",
+    "TranslationUnit",
+    "to_source",
+    "fold_unit",
+    "fold_expr",
+    "fold_stmt",
+    "classify_stride",
+    "index_stream",
+]
+
+
+def compile_source(
+    source: str, defines: Mapping[str, str] | None = None
+) -> CheckedProgram:
+    """Parse and type-check OpenCL-C ``source`` with ``-D`` style defines."""
+    return check(parse(source, defines))

@@ -1,0 +1,315 @@
+"""Constant folding and algebraic simplification over the AST.
+
+HLS compilers fold the generated kernels' index arithmetic long before
+scheduling; this pass gives our front-end the same ability, which makes
+``to_source`` output readable after ``-D`` substitution and gives the
+analyses fewer shapes to handle. The pass is semantics-preserving by
+construction:
+
+* integer arithmetic on literals folds with C semantics (wrap-around is
+  *not* folded — a computation that would overflow ``int`` stays
+  symbolic, because the checker types literals as ``int``);
+* float arithmetic folds in double precision only when both operands
+  are literals;
+* algebraic identities: ``x*1``, ``1*x``, ``x+0``, ``0+x``, ``x-0``,
+  ``x*0``/``0*x`` (only for side-effect-free ``x``), ``x/1``,
+  ``x<<0``, ``x>>0``;
+* ``if`` with a literal condition keeps only the taken branch;
+  conditional expressions likewise;
+* ``for`` loops whose condition folds to false are dropped.
+
+The result is a *new* tree (nodes are immutable); unfoldable subtrees
+are shared with the input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import cast
+
+__all__ = ["fold_unit", "fold_expr", "fold_stmt"]
+
+_INT_MIN, _INT_MAX = -(2**31), 2**31 - 1
+
+
+def fold_unit(unit: cast.TranslationUnit) -> cast.TranslationUnit:
+    """Fold every function body of a translation unit."""
+    functions = tuple(
+        cast.FunctionDef(
+            name=f.name,
+            return_type=f.return_type,
+            params=f.params,
+            body=_fold_block(f.body),
+            is_kernel=f.is_kernel,
+            attributes=f.attributes,
+            line=f.line,
+        )
+        for f in unit.functions
+    )
+    return cast.TranslationUnit(functions, line=unit.line)
+
+
+def _fold_block(block: cast.Block) -> cast.Block:
+    out: list[cast.Stmt] = []
+    for stmt in block.body:
+        folded = fold_stmt(stmt)
+        if folded is not None:
+            out.append(folded)
+    return cast.Block(tuple(out), line=block.line)
+
+
+def fold_stmt(stmt: cast.Stmt) -> Optional[cast.Stmt]:
+    """Fold one statement; ``None`` means it folded away entirely."""
+    if isinstance(stmt, cast.Block):
+        return _fold_block(stmt)
+    if isinstance(stmt, cast.DeclStmt):
+        if stmt.init is None:
+            return stmt
+        return cast.DeclStmt(
+            type_name=stmt.type_name,
+            name=stmt.name,
+            init=fold_expr(stmt.init),
+            qualifiers=stmt.qualifiers,
+            line=stmt.line,
+        )
+    if isinstance(stmt, cast.ExprStmt):
+        return cast.ExprStmt(fold_expr(stmt.expr), line=stmt.line)
+    if isinstance(stmt, cast.If):
+        cond = fold_expr(stmt.cond)
+        truth = _literal_truth(cond)
+        if truth is True:
+            return fold_stmt(stmt.then)
+        if truth is False:
+            return fold_stmt(stmt.other) if stmt.other is not None else None
+        then = fold_stmt(stmt.then) or cast.Block((), line=stmt.line)
+        other = fold_stmt(stmt.other) if stmt.other is not None else None
+        return cast.If(cond, then, other, line=stmt.line)
+    if isinstance(stmt, cast.For):
+        cond = fold_expr(stmt.cond) if stmt.cond is not None else None
+        init = fold_stmt(stmt.init) if stmt.init is not None else None
+        if cond is not None and (
+            _literal_truth(cond) is False or _zero_trip(init, cond)
+        ):
+            # zero-trip loop: only its init's side effects remain; our
+            # inits are declarations or simple assignments with no other
+            # observable effect, so the loop vanishes
+            return None
+        body = fold_stmt(stmt.body) or cast.Block((), line=stmt.line)
+        step = fold_expr(stmt.step) if stmt.step is not None else None
+        return cast.For(init, cond, step, body, unroll=stmt.unroll, line=stmt.line)
+    if isinstance(stmt, cast.While):
+        cond = fold_expr(stmt.cond)
+        if _literal_truth(cond) is False:
+            return None
+        body = fold_stmt(stmt.body) or cast.Block((), line=stmt.line)
+        return cast.While(cond, body, line=stmt.line)
+    if isinstance(stmt, cast.Return):
+        if stmt.value is None:
+            return stmt
+        return cast.Return(fold_expr(stmt.value), line=stmt.line)
+    return stmt  # Break/Continue/Pragma
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+def fold_expr(expr: cast.Expr) -> cast.Expr:
+    """Fold one expression tree."""
+    if isinstance(expr, (cast.IntLiteral, cast.FloatLiteral, cast.Ident)):
+        return expr
+    if isinstance(expr, cast.Unary):
+        operand = fold_expr(expr.operand)
+        if expr.op == "-" and isinstance(operand, cast.IntLiteral):
+            value = -operand.value
+            if _INT_MIN <= value <= _INT_MAX:
+                return cast.IntLiteral(value, suffix=operand.suffix, line=expr.line)
+        if expr.op == "-" and isinstance(operand, cast.FloatLiteral):
+            return cast.FloatLiteral(-operand.value, suffix=operand.suffix, line=expr.line)
+        if expr.op == "+":
+            return operand
+        if expr.op == "!" and isinstance(operand, cast.IntLiteral):
+            return cast.IntLiteral(0 if operand.value else 1, line=expr.line)
+        return cast.Unary(expr.op, operand, line=expr.line)
+    if isinstance(expr, cast.Binary):
+        return _fold_binary(expr)
+    if isinstance(expr, cast.Assign):
+        return cast.Assign(
+            expr.op, fold_expr(expr.target), fold_expr(expr.value), line=expr.line
+        )
+    if isinstance(expr, cast.Conditional):
+        cond = fold_expr(expr.cond)
+        truth = _literal_truth(cond)
+        if truth is True:
+            return fold_expr(expr.then)
+        if truth is False:
+            return fold_expr(expr.other)
+        return cast.Conditional(
+            cond, fold_expr(expr.then), fold_expr(expr.other), line=expr.line
+        )
+    if isinstance(expr, cast.Call):
+        return cast.Call(
+            expr.func, tuple(fold_expr(a) for a in expr.args), line=expr.line
+        )
+    if isinstance(expr, cast.Index):
+        return cast.Index(fold_expr(expr.base), fold_expr(expr.index), line=expr.line)
+    if isinstance(expr, cast.Swizzle):
+        return cast.Swizzle(fold_expr(expr.base), expr.components, line=expr.line)
+    if isinstance(expr, cast.Cast):
+        return cast.Cast(expr.type_name, fold_expr(expr.operand), line=expr.line)
+    if isinstance(expr, cast.VectorLiteral):
+        return cast.VectorLiteral(
+            expr.type_name, tuple(fold_expr(e) for e in expr.elements), line=expr.line
+        )
+    return expr
+
+
+def _fold_binary(expr: cast.Binary) -> cast.Expr:
+    left = fold_expr(expr.left)
+    right = fold_expr(expr.right)
+    op = expr.op
+
+    lit = _fold_literal_pair(op, left, right, expr.line)
+    if lit is not None:
+        return lit
+
+    # algebraic identities (x must be effect-free to drop it in x*0)
+    if op == "+":
+        if _is_int(left, 0):
+            return right
+        if _is_int(right, 0):
+            return left
+    elif op == "-":
+        if _is_int(right, 0):
+            return left
+    elif op == "*":
+        if _is_int(left, 1):
+            return right
+        if _is_int(right, 1):
+            return left
+        if _is_int(left, 0) and _effect_free(right):
+            return cast.IntLiteral(0, line=expr.line)
+        if _is_int(right, 0) and _effect_free(left):
+            return cast.IntLiteral(0, line=expr.line)
+    elif op == "/":
+        if _is_int(right, 1):
+            return left
+    elif op in ("<<", ">>"):
+        if _is_int(right, 0):
+            return left
+    return cast.Binary(op, left, right, line=expr.line)
+
+
+def _fold_literal_pair(
+    op: str, left: cast.Expr, right: cast.Expr, line: int
+) -> Optional[cast.Expr]:
+    if isinstance(left, cast.IntLiteral) and isinstance(right, cast.IntLiteral):
+        a, b = left.value, right.value
+        try:
+            value = {
+                "+": lambda: a + b,
+                "-": lambda: a - b,
+                "*": lambda: a * b,
+                "/": lambda: _trunc_div(a, b),
+                "%": lambda: a - _trunc_div(a, b) * b,
+                "<<": lambda: a << b if 0 <= b < 32 else None,
+                ">>": lambda: a >> b if 0 <= b < 32 else None,
+                "&": lambda: a & b,
+                "|": lambda: a | b,
+                "^": lambda: a ^ b,
+                "==": lambda: int(a == b),
+                "!=": lambda: int(a != b),
+                "<": lambda: int(a < b),
+                ">": lambda: int(a > b),
+                "<=": lambda: int(a <= b),
+                ">=": lambda: int(a >= b),
+                "&&": lambda: int(bool(a) and bool(b)),
+                "||": lambda: int(bool(a) or bool(b)),
+            }[op]()
+        except (KeyError, ZeroDivisionError):
+            return None
+        if value is None or not _INT_MIN <= value <= _INT_MAX:
+            return None  # overflow or unfoldable: keep symbolic
+        return cast.IntLiteral(value, line=line)
+    if isinstance(left, cast.FloatLiteral) and isinstance(right, cast.FloatLiteral):
+        a, b = left.value, right.value
+        try:
+            value = {
+                "+": lambda: a + b,
+                "-": lambda: a - b,
+                "*": lambda: a * b,
+                "/": lambda: a / b,
+            }[op]()
+        except (KeyError, ZeroDivisionError):
+            return None
+        return cast.FloatLiteral(value, line=line)
+    return None
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _zero_trip(init: Optional[cast.Stmt], cond: cast.Expr) -> bool:
+    """Recognize ``for (i = A; i < B; ...)`` with literal A >= B."""
+    if isinstance(init, cast.DeclStmt):
+        var, start = init.name, init.init
+    elif isinstance(init, cast.ExprStmt) and isinstance(init.expr, cast.Assign):
+        if not isinstance(init.expr.target, cast.Ident):
+            return False
+        var, start = init.expr.target.name, init.expr.value
+    else:
+        return False
+    if not isinstance(start, cast.IntLiteral):
+        return False
+    if not (
+        isinstance(cond, cast.Binary)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.left, cast.Ident)
+        and cond.left.name == var
+        and isinstance(cond.right, cast.IntLiteral)
+    ):
+        return False
+    bound = cond.right.value
+    return start.value >= bound if cond.op == "<" else start.value > bound
+
+
+def _literal_truth(expr: cast.Expr) -> Optional[bool]:
+    if isinstance(expr, cast.IntLiteral):
+        return bool(expr.value)
+    if isinstance(expr, cast.FloatLiteral):
+        return bool(expr.value)
+    return None
+
+
+def _is_int(expr: cast.Expr, value: int) -> bool:
+    return isinstance(expr, cast.IntLiteral) and expr.value == value
+
+
+def _effect_free(expr: cast.Expr) -> bool:
+    """Conservatively: no assignments, increments or calls inside."""
+    if isinstance(expr, (cast.IntLiteral, cast.FloatLiteral, cast.Ident)):
+        return True
+    if isinstance(expr, cast.Unary):
+        if expr.op in ("++", "--", "p++", "p--"):
+            return False
+        return _effect_free(expr.operand)
+    if isinstance(expr, cast.Binary):
+        return _effect_free(expr.left) and _effect_free(expr.right)
+    if isinstance(expr, cast.Conditional):
+        return all(
+            _effect_free(e) for e in (expr.cond, expr.then, expr.other)
+        )
+    if isinstance(expr, cast.Index):
+        return _effect_free(expr.base) and _effect_free(expr.index)
+    if isinstance(expr, (cast.Swizzle, cast.Cast)):
+        inner = expr.base if isinstance(expr, cast.Swizzle) else expr.operand
+        return _effect_free(inner)
+    if isinstance(expr, cast.VectorLiteral):
+        return all(_effect_free(e) for e in expr.elements)
+    return False  # calls, assignments

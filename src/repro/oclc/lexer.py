@@ -1,0 +1,335 @@
+"""Tokenizer for the OpenCL-C subset, with a tiny preprocessor.
+
+The preprocessor supports what MP-STREAM's build scripts need:
+
+* object-like ``#define NAME value`` (and ``-DNAME=value`` build
+  options, applied by :func:`tokenize` via the ``defines`` mapping);
+* ``#pragma unroll [N]``, surfaced as :class:`PragmaTok` so the parser
+  can attach unroll factors to the following loop;
+* ``//`` and ``/* */`` comments.
+
+Conditional compilation (``#ifdef``) is supported in the single-level
+form the generated kernels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS", "PUNCTUATION"]
+
+KEYWORDS = frozenset(
+    {
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "break",
+        "continue",
+        "const",
+        "restrict",
+        "volatile",
+        "void",
+        "__kernel",
+        "kernel",
+        "__global",
+        "global",
+        "__local",
+        "local",
+        "__constant",
+        "constant",
+        "__private",
+        "private",
+        "__attribute__",
+    }
+)
+
+# Longest-match-first punctuation/operator table.
+PUNCTUATION = (
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+_DIGITS = frozenset("0123456789")
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | _DIGITS
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``ident``, ``keyword``, ``int``, ``float``,
+    ``punct``, ``pragma`` or ``eof``. ``text`` is the raw spelling and
+    ``value`` the decoded payload (int/float value, pragma body...).
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+    value: object = None
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+
+def _strip_comments(source: str) -> str:
+    """Replace comments with spaces, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                line = source.count("\n", 0, i) + 1
+                raise LexError("unterminated block comment", line=line)
+            out.append(
+                "".join("\n" if c == "\n" else " " for c in source[i : end + 2])
+            )
+            i = end + 2
+            continue
+        else:
+            out.append(ch)
+            i += 1
+            continue
+    return "".join(out)
+
+
+def _preprocess(source: str, defines: dict[str, str]) -> list[tuple[int, str]]:
+    """Handle directives; return (line_number, text) pairs of real code.
+
+    ``defines`` is mutated with ``#define`` entries found in the source.
+    ``#pragma`` lines are kept (as directive lines) for the tokenizer.
+    """
+    lines: list[tuple[int, str]] = []
+    skipping = False
+    depth_of_skip = 0
+    depth = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            directive = stripped[1:].strip()
+            if directive.startswith("ifdef") or directive.startswith("ifndef"):
+                depth += 1
+                name = directive.split(None, 1)[1].strip() if " " in directive else ""
+                want_defined = directive.startswith("ifdef")
+                if not skipping and (name in defines) != want_defined:
+                    skipping = True
+                    depth_of_skip = depth
+            elif directive.startswith("else"):
+                if depth == 0:
+                    raise LexError("#else without #if", line=lineno)
+                if skipping and depth_of_skip == depth:
+                    skipping = False
+                elif not skipping and depth > 0:
+                    skipping = True
+                    depth_of_skip = depth
+            elif directive.startswith("endif"):
+                if depth == 0:
+                    raise LexError("#endif without #if", line=lineno)
+                if skipping and depth_of_skip == depth:
+                    skipping = False
+                depth -= 1
+            elif skipping:
+                continue
+            elif directive.startswith("define"):
+                body = directive[len("define") :].strip()
+                if not body:
+                    raise LexError("empty #define", line=lineno)
+                parts = body.split(None, 1)
+                name = parts[0]
+                if "(" in name:
+                    raise LexError(
+                        "function-like macros are not supported", line=lineno
+                    )
+                defines[name] = parts[1] if len(parts) > 1 else "1"
+            elif directive.startswith("undef"):
+                name = directive.split(None, 1)[1].strip()
+                defines.pop(name, None)
+            elif directive.startswith("pragma"):
+                lines.append((lineno, "#" + directive))
+            elif directive.startswith("include"):
+                # Headers carry nothing we model; ignore.
+                continue
+            else:
+                raise LexError(f"unsupported directive #{directive}", line=lineno)
+            continue
+        if not skipping:
+            lines.append((lineno, raw))
+    if depth != 0:
+        raise LexError("unterminated #if block", line=len(source.splitlines()))
+    return lines
+
+
+def _expand(text: str, defines: Mapping[str, str]) -> str:
+    """Token-ish textual macro expansion, iterated to a fixed point."""
+    if not defines:
+        return text
+    import re
+
+    pattern = re.compile(r"\b(" + "|".join(re.escape(k) for k in defines) + r")\b")
+    for _ in range(16):
+        new = pattern.sub(lambda m: str(defines[m.group(1)]), text)
+        if new == text:
+            return new
+        text = new
+    raise LexError(f"macro expansion did not converge in {text!r}")
+
+
+def tokenize(source: str, defines: Mapping[str, str] | None = None) -> list[Token]:
+    """Tokenize OpenCL-C ``source`` into a list ending with an ``eof`` token.
+
+    ``defines`` seeds the preprocessor macro table (the ``-D`` build
+    options); ``#define`` lines in the source add to it.
+    """
+    macro_table: dict[str, str] = dict(defines or {})
+    stripped = _strip_comments(source)
+    lines = _preprocess(stripped, macro_table)
+
+    tokens: list[Token] = []
+    for lineno, text in lines:
+        if text.lstrip().startswith("#pragma"):
+            body = text.lstrip()[len("#pragma") :].strip()
+            body = _expand(body, macro_table)
+            tokens.append(Token("pragma", text.strip(), lineno, 1, value=body))
+            continue
+        text = _expand(text, macro_table)
+        tokens.extend(_tokenize_line(text, lineno))
+    tokens.append(Token("eof", "", lines[-1][0] if lines else 1, 1))
+    return tokens
+
+
+def _tokenize_line(text: str, lineno: int) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        col = i + 1
+        # ASCII-only identifier/number rules, as in C: unicode "letters"
+        # and "digits" (e.g. superscripts) are invalid characters
+        if ch in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            yield Token(kind, word, lineno, col)
+            i = j
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            tok, i = _lex_number(text, i, lineno, col)
+            yield tok
+            continue
+        for punct in PUNCTUATION:
+            if text.startswith(punct, i):
+                yield Token("punct", punct, lineno, col)
+                i += len(punct)
+                break
+        else:
+            raise LexError(f"invalid character {ch!r}", line=lineno, col=col)
+
+
+def _lex_number(text: str, i: int, lineno: int, col: int) -> tuple[Token, int]:
+    n = len(text)
+    start = i
+    is_float = False
+    if text.startswith(("0x", "0X"), i):
+        i += 2
+        while i < n and (text[i] in "0123456789abcdefABCDEF"):
+            i += 1
+    else:
+        while i < n and text[i] in _DIGITS:
+            i += 1
+        if i < n and text[i] == ".":
+            is_float = True
+            i += 1
+            while i < n and text[i] in _DIGITS:
+                i += 1
+        if i < n and text[i] in "eE":
+            peek = i + 1
+            if peek < n and text[peek] in "+-":
+                peek += 1
+            if peek < n and text[peek] in _DIGITS:
+                is_float = True
+                i = peek
+                while i < n and text[i] in _DIGITS:
+                    i += 1
+    suffix_start = i
+    while i < n and text[i] in "uUlLfF":
+        i += 1
+    suffix = text[suffix_start:i].lower()
+    literal = text[start:suffix_start]
+    if i < n and (text[i].isalnum() or text[i] == "_"):
+        raise LexError(
+            f"invalid character {text[i]!r} in numeric literal", line=lineno, col=col
+        )
+    if is_float or suffix == "f":
+        if suffix not in ("", "f"):
+            raise LexError(
+                f"bad float suffix {suffix!r} on {literal}", line=lineno, col=col
+            )
+        return Token("float", text[start:i], lineno, col, value=float(literal)), i
+    if suffix not in ("", "u", "l", "ul", "lu", "ll", "ull"):
+        raise LexError(
+            f"bad integer suffix {suffix!r} on {literal}", line=lineno, col=col
+        )
+    return Token("int", text[start:i], lineno, col, value=int(literal, 0)), i

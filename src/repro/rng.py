@@ -1,0 +1,19 @@
+"""Deterministic randomness helpers.
+
+The simulation itself is deterministic; randomness only appears in
+tests and example workload generators. Centralizing seeding keeps every
+run reproducible: the same seed always produces the same generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "make_rng"]
+
+DEFAULT_SEED = 0x5EED_2018
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """A PCG64 generator seeded deterministically (``None`` = package seed)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)

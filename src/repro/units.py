@@ -1,0 +1,222 @@
+"""Units: sizes, times, frequencies and bandwidths.
+
+The benchmark literature mixes decimal and binary prefixes freely;
+STREAM itself reports MB/s with decimal megabytes. This module pins the
+conventions used throughout the reproduction:
+
+* **sizes** are in bytes, binary prefixes (``KiB = 1024``) for buffer
+  sizing, but the *reporting* helpers also provide decimal formatting to
+  match the paper's "GB/s" axes (decimal, like STREAM);
+* **times** are in seconds (floats);
+* **frequencies** in hertz;
+* **bandwidths** in bytes/second, formatted as decimal GB/s.
+
+Parsing accepts both conventions explicitly: ``parse_size("4MiB")`` is
+binary, ``parse_size("4MB")`` is decimal — and the benchmark uses
+``MiB`` internally so "4 MB arrays" in the paper map to ``4 * 2**20``
+bytes, the conventional reading for power-of-two array lengths.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Final
+
+from .errors import UnitParseError
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "US",
+    "MS",
+    "NS",
+    "parse_size",
+    "parse_frequency",
+    "parse_time",
+    "format_size",
+    "format_bandwidth",
+    "format_time",
+    "format_frequency",
+    "bandwidth_gbs",
+    "geomean",
+]
+
+KIB: Final[int] = 1024
+MIB: Final[int] = 1024**2
+GIB: Final[int] = 1024**3
+
+KB: Final[int] = 1000
+MB: Final[int] = 1000**2
+GB: Final[int] = 1000**3
+
+KHZ: Final[float] = 1e3
+MHZ: Final[float] = 1e6
+GHZ: Final[float] = 1e9
+
+NS: Final[float] = 1e-9
+US: Final[float] = 1e-6
+MS: Final[float] = 1e-3
+
+_SIZE_SUFFIXES: Final[dict[str, int]] = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GB,
+    "gib": GIB,
+    "t": 1024**4,
+    "tb": 1000**4,
+    "tib": 1024**4,
+}
+
+_FREQ_SUFFIXES: Final[dict[str, float]] = {
+    "hz": 1.0,
+    "khz": KHZ,
+    "mhz": MHZ,
+    "ghz": GHZ,
+}
+
+_TIME_SUFFIXES: Final[dict[str, float]] = {
+    "s": 1.0,
+    "ms": MS,
+    "us": US,
+    "ns": NS,
+    "m": 60.0,
+    "min": 60.0,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def _parse(text: str | int | float, table: dict[str, float] | dict[str, int],
+           kind: str) -> float:
+    if isinstance(text, (int, float)):
+        return float(text)
+    m = _QUANTITY_RE.match(text)
+    if not m:
+        raise UnitParseError(f"cannot parse {kind} {text!r}")
+    value = float(m.group(1))
+    suffix = m.group(2).lower()
+    if suffix not in table:
+        raise UnitParseError(
+            f"unknown {kind} suffix {m.group(2)!r} in {text!r} "
+            f"(known: {sorted(table)})"
+        )
+    return value * table[suffix]
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size into bytes.
+
+    Binary suffixes (``KiB``/``MiB``/``GiB`` and the bare ``K``/``M``/``G``)
+    are powers of 1024; ``KB``/``MB``/``GB`` are powers of 1000.
+
+    >>> parse_size("4MiB")
+    4194304
+    >>> parse_size("4MB")
+    4000000
+    >>> parse_size(512)
+    512
+    """
+    value = _parse(text, _SIZE_SUFFIXES, "size")
+    if value < 0:
+        raise UnitParseError(f"size must be non-negative, got {text!r}")
+    return int(round(value))
+
+
+def parse_frequency(text: str | int | float) -> float:
+    """Parse a frequency ("200MHz", "1.05 GHz") into hertz."""
+    value = _parse(text, _FREQ_SUFFIXES, "frequency")
+    if value <= 0:
+        raise UnitParseError(f"frequency must be positive, got {text!r}")
+    return value
+
+
+def parse_time(text: str | int | float) -> float:
+    """Parse a duration ("15us", "3ms") into seconds."""
+    value = _parse(text, _TIME_SUFFIXES, "time")
+    if value < 0:
+        raise UnitParseError(f"time must be non-negative, got {text!r}")
+    return value
+
+
+def format_size(nbytes: int | float, *, decimal: bool = False) -> str:
+    """Format a byte count with a binary (default) or decimal prefix.
+
+    >>> format_size(4 * MIB)
+    '4.00 MiB'
+    >>> format_size(25_600_000_000, decimal=True)
+    '25.60 GB'
+    """
+    nbytes = float(nbytes)
+    base = 1000.0 if decimal else 1024.0
+    units = ["B", "KB", "MB", "GB", "TB"] if decimal else ["B", "KiB", "MiB", "GiB", "TiB"]
+    if nbytes == 0:
+        return "0 B"
+    exp = min(int(math.log(abs(nbytes), base)), len(units) - 1)
+    value = nbytes / base**exp
+    if exp == 0:
+        return f"{int(value)} B"
+    return f"{value:.2f} {units[exp]}"
+
+
+def format_bandwidth(bytes_per_s: float) -> str:
+    """Format a bandwidth in decimal GB/s (STREAM's reporting convention).
+
+    >>> format_bandwidth(25.1e9)
+    '25.100 GB/s'
+    """
+    return f"{bytes_per_s / GB:.3f} GB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an auto-selected unit."""
+    if seconds == 0:
+        return "0 s"
+    if seconds < US:
+        return f"{seconds / NS:.1f} ns"
+    if seconds < MS:
+        return f"{seconds / US:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.3f} ms"
+    return f"{seconds:.4f} s"
+
+
+def format_frequency(hz: float) -> str:
+    """Format a frequency with an auto-selected unit."""
+    if hz >= GHZ:
+        return f"{hz / GHZ:.2f} GHz"
+    if hz >= MHZ:
+        return f"{hz / MHZ:.1f} MHz"
+    if hz >= KHZ:
+        return f"{hz / KHZ:.1f} kHz"
+    return f"{hz:.0f} Hz"
+
+
+def bandwidth_gbs(nbytes: float, seconds: float) -> float:
+    """Bandwidth in decimal GB/s for ``nbytes`` moved in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    return nbytes / seconds / GB
+
+
+def geomean(values: list[float] | tuple[float, ...]) -> float:
+    """Geometric mean, used for cross-kernel summary rows."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,47 @@
+"""Shared fixtures for the MP-STREAM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TuningParameters
+from repro.ocl.platform import find_device
+from repro.units import KIB
+
+
+@pytest.fixture(scope="session")
+def cpu_device():
+    return find_device("cpu")
+
+
+@pytest.fixture(scope="session")
+def gpu_device():
+    return find_device("gpu")
+
+
+@pytest.fixture(scope="session")
+def aocl_device():
+    return find_device("aocl")
+
+
+@pytest.fixture(scope="session")
+def sdaccel_device():
+    return find_device("sdaccel")
+
+
+@pytest.fixture(params=["aocl", "sdaccel", "cpu", "gpu"])
+def any_device(request):
+    """Parametrized over all four paper targets."""
+    return find_device(request.param)
+
+
+@pytest.fixture
+def small_params() -> TuningParameters:
+    """A parameter point small enough for fast functional execution."""
+    return TuningParameters(array_bytes=64 * KIB)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2018)

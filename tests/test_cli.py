@@ -1,0 +1,212 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.target == "cpu"
+        assert args.kernel == "copy"
+
+    def test_axis_syntax(self):
+        args = build_parser().parse_args(
+            ["sweep", "--axis", "vector_width=1,2,4", "--axis", "unroll=1,2"]
+        )
+        assert len(args.axis) == 2
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for tag in ("cpu", "gpu", "aocl", "sdaccel"):
+            assert tag in out
+
+    def test_run_single(self, capsys):
+        code = main(["run", "--target", "aocl", "--size", "64KiB", "--ntimes", "1"])
+        assert code == 0
+        assert "GB/s" in capsys.readouterr().out
+
+    def test_run_all_kernels(self, capsys):
+        code = main(
+            ["run", "--target", "cpu", "--size", "64KiB", "--all-kernels", "--ntimes", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for k in ("copy", "scale", "add", "triad"):
+            assert k in out
+
+    def test_run_failure_exit_code(self, capsys):
+        # ADD with int16 overflows the Virtex-7 resources -> exit 1
+        code = main(
+            [
+                "run",
+                "--target",
+                "sdaccel",
+                "--size",
+                "64KiB",
+                "--kernel",
+                "add",
+                "--vec",
+                "16",
+                "--ntimes",
+                "1",
+            ]
+        )
+        assert code == 1
+
+    def test_run_csv_output(self, tmp_path, capsys):
+        out_csv = tmp_path / "r.csv"
+        code = main(
+            ["run", "--target", "gpu", "--size", "64KiB", "--ntimes", "1", "--csv", str(out_csv)]
+        )
+        assert code == 0
+        assert out_csv.exists()
+        assert "bandwidth_gbs" in out_csv.read_text()
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--target",
+                "aocl",
+                "--size",
+                "64KiB",
+                "--loop",
+                "flat",
+                "--axis",
+                "vector_width=1,4",
+                "--ntimes",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_source(self, capsys):
+        code = main(["source", "--kernel", "triad", "--loop", "nested", "--vec", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mpstream_triad" in out and "int4" in out
+
+    def test_host_stream(self, capsys):
+        code = main(["host-stream", "--size", "1MiB", "--ntimes", "1"])
+        assert code == 0
+        assert "copy" in capsys.readouterr().out
+
+    def test_figure_targets(self, capsys):
+        code = main(["figure", "targets"])
+        assert code == 0
+        assert "peak=336.0" in capsys.readouterr().out
+
+    def test_bad_size_reports_error(self, capsys):
+        code = main(["run", "--size", "lots"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExtendedCommands:
+    def test_autotune(self, capsys):
+        code = main(
+            [
+                "autotune",
+                "--target",
+                "aocl",
+                "--size",
+                "128KiB",
+                "--budget",
+                "8",
+                "--ntimes",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best:" in out and "evaluated" in out
+
+    def test_autotune_custom_axis(self, capsys):
+        code = main(
+            [
+                "autotune",
+                "--target",
+                "cpu",
+                "--size",
+                "64KiB",
+                "--axis",
+                "vector_width=1,4",
+                "--budget",
+                "4",
+                "--ntimes",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_energy(self, capsys):
+        code = main(
+            ["energy", "--target", "aocl", "--size", "256KiB", "--vec", "8",
+             "--loop", "flat", "--ntimes", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GB/J" in out
+
+    def test_energy_failure(self, capsys):
+        code = main(
+            ["energy", "--target", "sdaccel", "--size", "64KiB",
+             "--kernel", "add", "--vec", "16", "--loop", "nested", "--ntimes", "1"]
+        )
+        assert code == 1
+
+    def test_save_and_compare(self, tmp_path, capsys):
+        before = tmp_path / "before.jsonl"
+        after = tmp_path / "after.jsonl"
+        assert main(["run", "--target", "aocl", "--size", "64KiB", "--ntimes", "1",
+                     "--save", str(before)]) == 0
+        assert main(["run", "--target", "aocl", "--size", "64KiB", "--vec", "8",
+                     "--loop", "flat", "--ntimes", "1", "--save", str(after)]) == 0
+        code = main(["compare", str(before), str(after)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "new" in out or "removed" in out
+
+    def test_gpustream(self, capsys):
+        code = main(
+            ["gpustream", "--target", "cpu", "--size", "1MiB", "--ntimes", "2", "--dot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPU-STREAM" in out and "dot" in out and "triad" in out
+
+    def test_selfcheck(self, capsys):
+        code = main(["selfcheck"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self-check passed" in out
+
+    def test_figure_dtype_listed(self):
+        args = build_parser().parse_args(["figure", "dtype"])
+        assert args.name == "dtype"
+
+    def test_figure_csv_export(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli._FIGURES, "fig1b", lambda: {"cpu": [(1.0, 25.0), (2.0, 26.0)]}
+        )
+        out_csv = tmp_path / "fig.csv"
+        code = main(["figure", "fig1b", "--csv", str(out_csv)])
+        assert code == 0
+        text = out_csv.read_text()
+        assert text.splitlines()[0] == "x,cpu"
+        assert "25.0" in text

@@ -1,0 +1,136 @@
+"""Autotuner: coordinate descent over the tuning space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BenchmarkRunner,
+    LoopManagement,
+    TuningParameters,
+    autotune,
+)
+from repro.errors import SweepError
+from repro.units import KIB, MIB
+
+AXES = {
+    "loop": list(LoopManagement),
+    "vector_width": [1, 2, 4, 8, 16],
+    "unroll": [1, 2, 4],
+}
+
+
+class TestAutotune:
+    def test_finds_fpga_optimum(self):
+        """On AOCL the known optimum is a vectorized single-work-item loop."""
+        runner = BenchmarkRunner("aocl", ntimes=1)
+        out = autotune(
+            runner,
+            AXES,
+            seed=TuningParameters(array_bytes=1 * MIB),
+            budget=40,
+        )
+        assert out.best.ok
+        assert out.best.params.loop is not LoopManagement.NDRANGE
+        assert out.best.params.vector_width >= 8
+        # descends: every trajectory step improves
+        bws = [bw for _, bw in out.trajectory]
+        assert bws == sorted(bws)
+
+    def test_beats_or_matches_seed(self):
+        runner = BenchmarkRunner("sdaccel", ntimes=1)
+        seed = TuningParameters(array_bytes=512 * KIB)
+        out = autotune(runner, AXES, seed=seed, budget=30)
+        seed_result = runner.run(seed)
+        assert out.best.bandwidth_gbs >= seed_result.bandwidth_gbs
+
+    def test_budget_respected(self):
+        runner = BenchmarkRunner("cpu", ntimes=1)
+        out = autotune(
+            runner,
+            AXES,
+            seed=TuningParameters(array_bytes=64 * KIB),
+            budget=5,
+        )
+        assert out.evaluations_used <= 5
+
+    def test_cheaper_than_grid(self):
+        """Coordinate descent reaches the same winner as the full grid
+        with a fraction of the evaluations."""
+        from repro.core import ParameterSweep, explore
+
+        runner = BenchmarkRunner("aocl", ntimes=1)
+        sweep = ParameterSweep(
+            base=TuningParameters(array_bytes=256 * KIB),
+            axes=AXES,
+        )
+        grid = explore(runner, sweep)
+        tuned = autotune(
+            runner,
+            AXES,
+            seed=TuningParameters(array_bytes=256 * KIB),
+            budget=25,
+        )
+        grid_best = grid.best()
+        assert grid_best is not None
+        assert tuned.best.bandwidth_gbs >= 0.9 * grid_best.bandwidth_gbs
+        assert tuned.evaluations_used < len(grid)
+
+    def test_build_failures_do_not_win(self):
+        """On sdaccel, vec=16 + 3-array kernels overflow; the tuner must
+        route around failed builds."""
+        from repro.core import KernelName
+
+        runner = BenchmarkRunner("sdaccel", ntimes=1)
+        out = autotune(
+            runner,
+            {"vector_width": [1, 8, 16]},
+            seed=TuningParameters(
+                array_bytes=256 * KIB,
+                kernel=KernelName.ADD,
+                loop=LoopManagement.NESTED,
+            ),
+            budget=10,
+        )
+        assert out.best.ok
+        assert out.best.params.vector_width == 8
+
+    def test_invalid_axes(self):
+        runner = BenchmarkRunner("cpu", ntimes=1)
+        with pytest.raises(SweepError):
+            autotune(runner, {"warp_factor": [1]}, budget=3)
+        with pytest.raises(SweepError):
+            autotune(runner, {}, budget=3)
+        with pytest.raises(SweepError):
+            autotune(runner, AXES, budget=0)
+
+    def test_illegal_moves_skipped(self):
+        """unroll>1 is illegal for NDRange; the tuner must skip, not crash."""
+        runner = BenchmarkRunner("cpu", ntimes=1)
+        out = autotune(
+            runner,
+            {"unroll": [1, 4], "vector_width": [1, 4]},
+            seed=TuningParameters(array_bytes=64 * KIB),  # NDRange seed
+            budget=10,
+        )
+        assert out.best.ok
+        assert out.best.params.unroll == 1
+
+
+class TestDeterminism:
+    def test_autotune_is_deterministic(self):
+        """Same inputs, same trajectory: the simulation has no hidden
+        randomness."""
+        runner = BenchmarkRunner("aocl", ntimes=1)
+        seed = TuningParameters(array_bytes=128 * KIB)
+        a = autotune(runner, AXES, seed=seed, budget=20)
+        b = autotune(runner, AXES, seed=seed, budget=20)
+        assert a.trajectory == b.trajectory
+        assert a.best.params == b.best.params
+        assert a.best.bandwidth_gbs == b.best.bandwidth_gbs
+
+    def test_runner_results_deterministic(self):
+        runner = BenchmarkRunner("gpu", ntimes=3)
+        p = TuningParameters(array_bytes=128 * KIB)
+        r1, r2 = runner.run(p), runner.run(p)
+        assert r1.times == r2.times

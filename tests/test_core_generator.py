@@ -1,0 +1,169 @@
+"""Kernel source generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AccessPattern,
+    DataType,
+    KernelName,
+    LoopManagement,
+    TuningParameters,
+    generate,
+)
+from repro.oclc import analyze, compile_source
+from repro.units import KIB, MIB
+
+
+def compiled(params):
+    gen = generate(params)
+    program = compile_source(gen.source, {k: str(v) for k, v in gen.defines.items()})
+    return gen, program
+
+
+class TestSignatures:
+    def test_copy_signature(self):
+        gen, program = compiled(TuningParameters(array_bytes=64 * KIB))
+        assert gen.kernel_name == "mpstream_copy"
+        params = program.kernel().params
+        assert [p.name for p in params] == ["a", "c"]
+
+    def test_triad_signature_has_scalar(self):
+        gen, program = compiled(
+            TuningParameters(array_bytes=64 * KIB, kernel=KernelName.TRIAD)
+        )
+        names = [p.name for p in program.kernel().params]
+        assert names == ["b", "c", "a", "q"]
+
+    def test_vector_type_in_signature(self):
+        gen, _ = compiled(TuningParameters(array_bytes=64 * KIB, vector_width=8))
+        assert "int8 *" in gen.source
+
+    def test_double_scalar_q_stays_scalar(self):
+        gen, _ = compiled(
+            TuningParameters(
+                array_bytes=64 * KIB,
+                kernel=KernelName.SCALE,
+                dtype=DataType.DOUBLE,
+                vector_width=4,
+            )
+        )
+        assert "const double q" in gen.source
+
+
+class TestLoopVariants:
+    def test_ndrange_launch_shape(self):
+        gen, _ = compiled(TuningParameters(array_bytes=64 * KIB))
+        assert gen.global_size == (16384,)
+        assert "get_global_id" in gen.source
+
+    def test_flat_single_work_item(self):
+        gen, program = compiled(
+            TuningParameters(array_bytes=64 * KIB, loop=LoopManagement.FLAT)
+        )
+        assert gen.global_size == (1,)
+        ir = analyze(program, gen.kernel_name)
+        assert len(ir.loops) == 1
+        assert ir.loops[0].trip_count == 16384
+
+    def test_nested_two_loops(self):
+        gen, program = compiled(
+            TuningParameters(array_bytes=64 * KIB, loop=LoopManagement.NESTED)
+        )
+        ir = analyze(program, gen.kernel_name)
+        assert len(ir.loops) == 2
+        trips = [l.trip_count for l in ir.loops]
+        assert trips[0] * trips[1] == 16384
+
+    def test_vector_width_shrinks_trip_count(self):
+        gen, program = compiled(
+            TuningParameters(
+                array_bytes=64 * KIB, loop=LoopManagement.FLAT, vector_width=16
+            )
+        )
+        ir = analyze(program, gen.kernel_name)
+        assert ir.loops[0].trip_count == 1024
+
+    def test_unroll_pragma_emitted(self):
+        gen, program = compiled(
+            TuningParameters(array_bytes=64 * KIB, loop=LoopManagement.FLAT, unroll=8)
+        )
+        assert "#pragma unroll 8" in gen.source
+        assert analyze(program, gen.kernel_name).unroll_factor == 8
+
+
+class TestStridedVariants:
+    def test_strided_ndrange_uses_modulo_remap(self):
+        gen, _ = compiled(
+            TuningParameters(array_bytes=64 * KIB, pattern=AccessPattern.STRIDED)
+        )
+        assert "%" in gen.source and "NI" in gen.source
+
+    def test_strided_nested_swaps_loop_order(self):
+        contig, _ = compiled(
+            TuningParameters(array_bytes=64 * KIB, loop=LoopManagement.NESTED)
+        )
+        strided, _ = compiled(
+            TuningParameters(
+                array_bytes=64 * KIB,
+                loop=LoopManagement.NESTED,
+                pattern=AccessPattern.STRIDED,
+            )
+        )
+        assert contig.source != strided.source
+        # strided walks columns: the j loop is outermost
+        assert strided.source.index("j < NJ") < strided.source.index("i < NI")
+
+    def test_touched_words_accounts_2d_shape(self):
+        params = TuningParameters(
+            array_bytes=96 * KIB, pattern=AccessPattern.STRIDED
+        )
+        gen, _ = compiled(params)
+        rows, cols = params.shape_2d()
+        assert gen.touched_words == rows * cols
+
+
+class TestAttributes:
+    def test_reqd_work_group_size(self):
+        gen, program = compiled(
+            TuningParameters(array_bytes=64 * KIB, reqd_work_group_size=128)
+        )
+        assert "reqd_work_group_size(128, 1, 1)" in gen.source
+        assert gen.local_size == (128,)
+
+    def test_simd_and_cu_attributes(self):
+        gen, program = compiled(
+            TuningParameters(
+                array_bytes=64 * KIB,
+                reqd_work_group_size=64,
+                num_simd_work_items=8,
+                num_compute_units=2,
+            )
+        )
+        ir = analyze(program, gen.kernel_name)
+        assert ir.attributes["num_simd_work_items"] == (8,)
+        assert ir.attributes["num_compute_units"] == (2,)
+
+    def test_xcl_attributes(self):
+        gen, program = compiled(
+            TuningParameters(
+                array_bytes=64 * KIB,
+                loop=LoopManagement.FLAT,
+                xcl_pipeline_loop=True,
+                xcl_max_memory_ports=True,
+                xcl_memory_port_width=256,
+            )
+        )
+        ir = analyze(program, gen.kernel_name)
+        assert "xcl_pipeline_loop" in ir.attributes
+        assert ir.attributes["xcl_memory_port_data_width"] == (256,)
+
+
+@pytest.mark.parametrize("kernel", list(KernelName))
+@pytest.mark.parametrize("loop", list(LoopManagement))
+def test_every_variant_compiles(kernel, loop):
+    gen, program = compiled(
+        TuningParameters(array_bytes=16 * KIB, kernel=kernel, loop=loop)
+    )
+    assert program.kernel(gen.kernel_name).is_kernel

@@ -1,0 +1,106 @@
+"""Kernel reference semantics and STREAM validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DataType, KernelName
+from repro.core.kernels import KERNELS, SCALAR_Q, initial_arrays, reference
+from repro.core.validate import validate_solution
+from repro.errors import ValidationError
+
+
+class TestSpecs:
+    def test_reads_writes(self):
+        assert KERNELS[KernelName.COPY].reads == ("a",)
+        assert KERNELS[KernelName.COPY].writes == "c"
+        assert KERNELS[KernelName.SCALE].reads == ("c",)
+        assert KERNELS[KernelName.SCALE].writes == "b"
+        assert KERNELS[KernelName.ADD].reads == ("a", "b")
+        assert KERNELS[KernelName.TRIAD].reads == ("b", "c")
+
+    def test_scalar_usage(self):
+        assert KERNELS[KernelName.SCALE].uses_scalar
+        assert KERNELS[KernelName.TRIAD].uses_scalar
+        assert not KERNELS[KernelName.COPY].uses_scalar
+
+
+class TestInitialArrays:
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_stream_initial_values(self, dtype):
+        arrays = initial_arrays(64, dtype)
+        assert np.all(arrays["a"] == 1)
+        assert np.all(arrays["b"] == 2)
+        assert np.all(arrays["c"] == 0)
+        assert arrays["a"].dtype.itemsize == dtype.size
+
+
+class TestReference:
+    def test_copy(self):
+        arrays = initial_arrays(8, DataType.INT)
+        out = reference(KernelName.COPY, arrays)
+        assert np.all(out["c"] == 1)
+        assert np.all(arrays["c"] == 0)  # input untouched
+
+    def test_scale(self):
+        out = reference(KernelName.SCALE, initial_arrays(8, DataType.INT))
+        assert np.all(out["b"] == 0)  # q * c = 3 * 0
+
+    def test_add(self):
+        out = reference(KernelName.ADD, initial_arrays(8, DataType.INT))
+        assert np.all(out["c"] == 3)
+
+    def test_triad(self):
+        out = reference(KernelName.TRIAD, initial_arrays(8, DataType.DOUBLE))
+        assert np.all(out["a"] == 2 + SCALAR_Q * 0)
+
+    def test_touched_words_limits_region(self):
+        arrays = initial_arrays(8, DataType.INT)
+        out = reference(KernelName.COPY, arrays, touched_words=4)
+        assert np.all(out["c"][:4] == 1)
+        assert np.all(out["c"][4:] == 0)
+
+
+class TestValidate:
+    def test_accepts_exact_match(self):
+        initial = initial_arrays(16, DataType.INT)
+        observed = reference(KernelName.ADD, initial)
+        validate_solution(KernelName.ADD, DataType.INT, initial, observed)
+
+    def test_rejects_single_wrong_word(self):
+        initial = initial_arrays(16, DataType.INT)
+        observed = reference(KernelName.ADD, initial)
+        observed["c"][7] += 1
+        with pytest.raises(ValidationError) as err:
+            validate_solution(KernelName.ADD, DataType.INT, initial, observed)
+        assert "word 7" in str(err.value)
+
+    def test_double_epsilon_tolerates_rounding(self):
+        initial = initial_arrays(16, DataType.DOUBLE)
+        observed = reference(KernelName.TRIAD, initial)
+        observed["a"] *= 1.0 + 1e-15  # below epsilon
+        validate_solution(KernelName.TRIAD, DataType.DOUBLE, initial, observed)
+
+    def test_double_epsilon_rejects_drift(self):
+        initial = initial_arrays(16, DataType.DOUBLE)
+        observed = reference(KernelName.TRIAD, initial)
+        observed["a"] *= 1.0 + 1e-6
+        with pytest.raises(ValidationError):
+            validate_solution(KernelName.TRIAD, DataType.DOUBLE, initial, observed)
+
+    def test_shape_mismatch(self):
+        initial = initial_arrays(16, DataType.INT)
+        observed = {k: v[:8].copy() for k, v in reference(KernelName.COPY, initial).items()}
+        with pytest.raises(ValidationError):
+            validate_solution(KernelName.COPY, DataType.INT, initial, observed)
+
+    def test_partial_region_validation(self):
+        initial = initial_arrays(16, DataType.INT)
+        observed = reference(KernelName.COPY, initial, touched_words=10)
+        validate_solution(
+            KernelName.COPY, DataType.INT, initial, observed, touched_words=10
+        )
+        # but claiming full coverage fails: the tail was never written
+        with pytest.raises(ValidationError):
+            validate_solution(KernelName.COPY, DataType.INT, initial, observed)

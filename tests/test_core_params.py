@@ -1,0 +1,114 @@
+"""Tuning parameters: validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AccessPattern,
+    DataType,
+    KernelName,
+    LoopManagement,
+    StreamLocus,
+    TuningParameters,
+)
+from repro.errors import SweepError
+from repro.units import MIB
+
+
+class TestDefaults:
+    def test_default_point(self):
+        p = TuningParameters()
+        assert p.kernel is KernelName.COPY
+        assert p.array_bytes == 4 * MIB
+        assert p.dtype is DataType.INT
+        assert p.vector_width == 1
+        assert p.locus is StreamLocus.DEVICE
+
+    def test_describe_is_readable(self):
+        text = TuningParameters(vector_width=4, unroll=2, loop=LoopManagement.FLAT).describe()
+        assert "copy" in text and "int4" in text and "unroll2" in text
+
+
+class TestValidation:
+    def test_bad_vector_width(self):
+        with pytest.raises(SweepError):
+            TuningParameters(vector_width=3)
+
+    def test_bad_array_size(self):
+        with pytest.raises(SweepError):
+            TuningParameters(array_bytes=0)
+
+    def test_bad_unroll(self):
+        with pytest.raises(SweepError):
+            TuningParameters(unroll=0)
+
+    def test_unroll_requires_loop_kernel(self):
+        with pytest.raises(SweepError):
+            TuningParameters(unroll=4, loop=LoopManagement.NDRANGE)
+        TuningParameters(unroll=4, loop=LoopManagement.FLAT)
+
+    def test_simd_requires_ndrange_and_wg(self):
+        with pytest.raises(SweepError):
+            TuningParameters(num_simd_work_items=4, loop=LoopManagement.FLAT)
+        with pytest.raises(SweepError):
+            TuningParameters(num_simd_work_items=4, loop=LoopManagement.NDRANGE)
+        TuningParameters(
+            num_simd_work_items=4,
+            loop=LoopManagement.NDRANGE,
+            reqd_work_group_size=64,
+        )
+
+    def test_array_must_hold_whole_elements(self):
+        with pytest.raises(SweepError):
+            TuningParameters(array_bytes=100, vector_width=16)  # 100 % 64 != 0
+
+    def test_port_width_values(self):
+        with pytest.raises(SweepError):
+            TuningParameters(xcl_memory_port_width=100)
+        TuningParameters(xcl_memory_port_width=512)
+
+
+class TestDerived:
+    def test_word_and_element_counts(self):
+        p = TuningParameters(array_bytes=1 * MIB, dtype=DataType.DOUBLE, vector_width=4)
+        assert p.word_count == 131072
+        assert p.element_bytes == 32
+        assert p.element_count == 32768
+        assert p.type_name == "double4"
+
+    def test_shape_2d_square_power_of_two(self):
+        p = TuningParameters(array_bytes=4 * MIB)  # 1M int32
+        rows, cols = p.shape_2d()
+        assert rows * cols == p.element_count
+        assert rows == 1024 and cols == 1024
+
+    def test_shape_2d_non_square(self):
+        p = TuningParameters(array_bytes=2 * MIB)  # 512K elements
+        rows, cols = p.shape_2d()
+        assert rows * cols == p.element_count
+        assert rows & (rows - 1) == 0  # rows is a power of two
+
+    def test_moved_bytes_convention(self):
+        p = TuningParameters(array_bytes=1 * MIB)
+        assert p.moved_bytes == 2 * MIB
+        assert p.with_(kernel=KernelName.ADD).moved_bytes == 3 * MIB
+        assert p.with_(kernel=KernelName.TRIAD).moved_bytes == 3 * MIB
+        assert p.with_(kernel=KernelName.SCALE).moved_bytes == 2 * MIB
+
+    def test_moved_bytes_2d_uses_touched_elements(self):
+        p = TuningParameters(array_bytes=1 * MIB, pattern=AccessPattern.STRIDED)
+        rows, cols = p.shape_2d()
+        assert p.moved_bytes == 2 * rows * cols * 4
+
+    def test_with_and_parse(self):
+        p = TuningParameters.parse(array_size="1MiB", vector_width=8)
+        assert p.array_bytes == MIB and p.vector_width == 8
+        q = p.with_(kernel=KernelName.TRIAD)
+        assert q.kernel is KernelName.TRIAD and p.kernel is KernelName.COPY
+
+    def test_kernel_metadata(self):
+        assert KernelName.COPY.arrays_touched == 2
+        assert KernelName.TRIAD.arrays_touched == 3
+        assert KernelName.SCALE.uses_scalar
+        assert not KernelName.ADD.uses_scalar

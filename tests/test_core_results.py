@@ -1,0 +1,202 @@
+"""Result records, collections and reporting."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core import (
+    ParameterSweep,
+    ResultSet,
+    RunResult,
+    TuningParameters,
+    results_table,
+    series_table,
+    stream_table,
+)
+from repro.core.report import ascii_chart, markdown_table
+from repro.errors import SweepError
+from repro.units import KIB
+
+
+def mk_result(target="cpu", bw_gbs=10.0, n_bytes=2 * KIB, **changes):
+    params = TuningParameters(array_bytes=n_bytes).with_(**changes)
+    moved = params.moved_bytes
+    t = moved / (bw_gbs * 1e9)
+    return RunResult(
+        target=target,
+        params=params,
+        times=(t * 1.2, t, t * 1.1),
+        moved_bytes=moved,
+        validated=True,
+    )
+
+
+def mk_failure(**changes):
+    params = TuningParameters(array_bytes=2 * KIB).with_(**changes)
+    return RunResult(
+        target="sdaccel",
+        params=params,
+        times=(),
+        moved_bytes=params.moved_bytes,
+        validated=False,
+        error="ResourceError: does not fit",
+    )
+
+
+class TestRunResult:
+    def test_best_time_bandwidth(self):
+        r = mk_result(bw_gbs=10.0)
+        assert r.bandwidth_gbs == pytest.approx(10.0)
+        assert r.min_time < r.avg_time < r.max_time
+
+    def test_failure_reports_zero(self):
+        f = mk_failure()
+        assert not f.ok
+        assert f.bandwidth_gbs == 0.0
+        assert "FAILED" in f.summary()
+
+    def test_row_is_flat_and_json_safe(self):
+        row = mk_result().row()
+        json.dumps(row)  # no numpy or enum leakage
+        assert row["kernel"] == "copy"
+        assert row["target"] == "cpu"
+
+    def test_summary_readable(self):
+        text = mk_result(bw_gbs=25.0).summary()
+        assert "cpu" in text and "GB/s" in text
+
+
+class TestResultSet:
+    def _set(self):
+        return ResultSet(
+            [
+                mk_result(target="cpu", bw_gbs=25.0),
+                mk_result(target="gpu", bw_gbs=200.0),
+                mk_result(target="aocl", bw_gbs=2.5),
+                mk_failure(),
+            ]
+        )
+
+    def test_len_iter_index(self):
+        rs = self._set()
+        assert len(rs) == 4
+        assert rs[1].target == "gpu"
+        assert len(list(rs)) == 4
+
+    def test_ok_filter(self):
+        assert len(self._set().ok()) == 3
+
+    def test_filter_by_fields(self):
+        rs = self._set().filter(target="gpu")
+        assert len(rs) == 1 and rs[0].target == "gpu"
+
+    def test_best(self):
+        assert self._set().best().target == "gpu"
+        assert ResultSet([mk_failure()]).best() is None
+
+    def test_series(self):
+        rs = ResultSet([mk_result(vector_width=w, bw_gbs=w * 1.0) for w in (1, 2, 4)])
+        series = rs.series("vector_width")
+        assert series == [(1, pytest.approx(1.0)), (2, pytest.approx(2.0)), (4, pytest.approx(4.0))]
+
+    def test_to_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        self._set().to_csv(str(path))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert rows[1]["target"] == "gpu"
+
+    def test_to_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = self._set().to_json(str(path))
+        data = json.loads(text)
+        assert len(data) == 4
+        assert json.loads(path.read_text()) == data
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultSet().to_csv(str(tmp_path / "x.csv"))
+
+
+class TestSweep:
+    def test_cartesian_points(self):
+        sweep = ParameterSweep(
+            axes={"vector_width": [1, 2], "array_bytes": [2 * KIB, 4 * KIB]}
+        )
+        points = list(sweep.points())
+        assert len(points) == len(sweep) == 4
+        assert {(p.vector_width, p.array_bytes) for p in points} == {
+            (1, 2048),
+            (1, 4096),
+            (2, 2048),
+            (2, 4096),
+        }
+
+    def test_invalid_axis_name(self):
+        with pytest.raises(SweepError):
+            ParameterSweep(axes={"warp_speed": [9]})
+
+    def test_empty_axis(self):
+        with pytest.raises(SweepError):
+            ParameterSweep(axes={"vector_width": []})
+
+    def test_invalid_combinations_skipped(self):
+        from repro.core import LoopManagement
+
+        sweep = ParameterSweep(
+            base=TuningParameters(array_bytes=2 * KIB, loop=LoopManagement.NDRANGE),
+            axes={"unroll": [1, 4]},  # unroll 4 invalid for NDRange
+        )
+        points = list(sweep.points())
+        assert len(points) == 1
+        assert len(sweep.skipped) == 1
+        assert sweep.skipped[0][0] == {"unroll": 4}
+
+
+class TestReporting:
+    def test_stream_table(self):
+        text = stream_table([mk_result(kernel_bw) for kernel_bw in []] or [mk_result()])
+        assert "Function" in text and "copy" in text
+
+    def test_stream_table_shows_failures(self):
+        text = stream_table([mk_failure()])
+        assert "FAILED" in text
+
+    def test_results_table_alignment(self):
+        text = results_table(ResultSet([mk_result(), mk_result(target="gpu")]))
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert len(set(len(l) for l in lines[:2])) == 1
+
+    def test_results_table_empty(self):
+        assert results_table(ResultSet()) == "(no results)"
+
+    def test_series_table(self):
+        text = series_table(
+            {"cpu": [(1, 25.0), (2, 26.0)], "gpu": [(1, 170.0)]}, x_label="width"
+        )
+        assert "width" in text and "cpu" in text and "-" in text
+        assert "170.000" in text
+
+    def test_markdown_table(self):
+        text = markdown_table({"cpu": [(1, 25.0)]}, x_label="N")
+        assert text.startswith("| N | cpu |")
+        assert "| 25.000 |" in text
+
+    def test_ascii_chart_renders(self):
+        chart = ascii_chart(
+            {"a": [(1.0, 1.0), (10.0, 10.0)], "b": [(1.0, 5.0)]},
+            width=32,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o" in chart and "x" in chart
+        assert "a" in chart.splitlines()[-1]
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(no data)"

@@ -1,0 +1,75 @@
+"""Real-host numpy STREAM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import KernelName
+from repro.errors import BenchmarkError
+from repro.hoststream import run_host_stream
+from repro.units import MIB
+
+
+class TestHostStream:
+    def test_runs_all_kernels(self):
+        results = run_host_stream(array_bytes=1 * MIB, ntimes=2)
+        assert set(results) == set(KernelName)
+        for r in results.values():
+            assert r.bandwidth_gbs > 0
+            assert len(r.times) == 2
+            assert r.min_time <= r.avg_time <= r.max_time
+
+    def test_byte_counting_convention(self):
+        results = run_host_stream(array_bytes=1 * MIB, ntimes=1)
+        assert results[KernelName.COPY].moved_bytes == 2 * MIB
+        assert results[KernelName.TRIAD].moved_bytes == 3 * MIB
+
+    def test_plausible_magnitude(self):
+        """Any machine running this suite moves > 0.1 GB/s and < 10 TB/s."""
+        results = run_host_stream(array_bytes=4 * MIB, ntimes=3)
+        for r in results.values():
+            assert 0.1 < r.bandwidth_gbs < 10_000
+
+    def test_dtype_option(self):
+        results = run_host_stream(array_bytes=1 * MIB, ntimes=1, dtype="float32")
+        assert results[KernelName.COPY].array_bytes == 1 * MIB
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(BenchmarkError):
+            run_host_stream(ntimes=0)
+        with pytest.raises(BenchmarkError):
+            run_host_stream(array_bytes=1)
+
+
+class TestClassicReport:
+    def test_checktick_positive(self):
+        from repro.hoststream import checktick
+
+        tick = checktick()
+        assert 0 < tick < 1e-3  # any sane clock
+
+    def test_report_contents(self):
+        from repro.hoststream import classic_report
+
+        results = run_host_stream(array_bytes=1 * MIB, ntimes=2)
+        text = classic_report(results, tick=1e-9)
+        assert "STREAM" in text
+        assert "copy" in text and "triad" in text
+        assert "Best Rate" in text
+
+    def test_report_flags_sub_tick_timings(self):
+        from repro.hoststream import classic_report
+
+        results = run_host_stream(array_bytes=1 * MIB, ntimes=2)
+        text = classic_report(results, tick=10.0)  # absurd tick
+        assert "(*)" in text
+
+    def test_report_rejects_empty(self):
+        from repro.hoststream import classic_report
+
+        with pytest.raises(BenchmarkError):
+            classic_report({})
+
+    def test_validation_runs(self):
+        # run_host_stream validates internally; a normal run passes
+        run_host_stream(array_bytes=1 * MIB, ntimes=1)

@@ -1,0 +1,84 @@
+"""Address-stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.memsim import access
+
+
+class TestContiguous:
+    def test_basic(self):
+        assert np.array_equal(access.contiguous_stream(5), [0, 1, 2, 3, 4])
+
+    def test_start(self):
+        assert np.array_equal(access.contiguous_stream(3, start=10), [10, 11, 12])
+
+    def test_empty(self):
+        assert access.contiguous_stream(0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidValueError):
+            access.contiguous_stream(-1)
+
+
+class TestStrided:
+    def test_positive_stride(self):
+        assert np.array_equal(access.strided_stream(4, 3), [0, 3, 6, 9])
+
+    def test_negative_stride(self):
+        assert np.array_equal(access.strided_stream(3, -2, start=10), [10, 8, 6])
+
+    def test_zero_stride_repeats(self):
+        assert np.array_equal(access.strided_stream(3, 0, start=7), [7, 7, 7])
+
+
+class TestColumnMajor:
+    def test_small_walk(self):
+        stream = access.column_major_stream(3, 2)  # 3x2 row-major
+        # columns: (0,0)=0,(1,0)=2,(2,0)=4 then (0,1)=1,(1,1)=3,(2,1)=5
+        assert np.array_equal(stream, [0, 2, 4, 1, 3, 5])
+
+    def test_touches_each_once(self):
+        stream = access.column_major_stream(8, 16)
+        assert sorted(stream.tolist()) == list(range(128))
+
+    def test_consecutive_stride_is_cols(self):
+        stream = access.column_major_stream(16, 7)
+        diffs = np.diff(stream[:16])
+        assert np.all(diffs == 7)
+
+    def test_bad_shape(self):
+        with pytest.raises(InvalidValueError):
+            access.column_major_stream(0, 5)
+
+
+class TestInterleaveAndBytes:
+    def test_interleave(self):
+        a = np.array([0, 1], dtype=np.int64)
+        b = np.array([100, 101], dtype=np.int64)
+        assert np.array_equal(
+            access.interleaved_streams([a, b]), [0, 100, 1, 101]
+        )
+
+    def test_interleave_length_mismatch(self):
+        with pytest.raises(InvalidValueError):
+            access.interleaved_streams(
+                [np.zeros(2, np.int64), np.zeros(3, np.int64)]
+            )
+
+    def test_interleave_empty_list(self):
+        with pytest.raises(InvalidValueError):
+            access.interleaved_streams([])
+
+    def test_to_byte_addresses(self):
+        stream = np.array([0, 1, 2], dtype=np.int64)
+        assert np.array_equal(
+            access.to_byte_addresses(stream, 8, base=100), [100, 108, 116]
+        )
+
+    def test_bad_element_size(self):
+        with pytest.raises(InvalidValueError):
+            access.to_byte_addresses(np.zeros(1, np.int64), 0)

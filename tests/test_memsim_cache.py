@@ -1,0 +1,212 @@
+"""Cache simulation: exact LRU behaviour and the analytic streaming model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidValueError
+from repro.memsim.access import contiguous_stream, strided_stream, to_byte_addresses
+from repro.memsim.cache import Cache, CacheConfig, streaming_hit_ratio
+
+
+class TestConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(capacity_bytes=8192, line_bytes=64, ways=4)
+        assert cfg.num_sets == 32
+        assert cfg.num_lines == 128
+
+    def test_line_must_be_pow2(self):
+        with pytest.raises(InvalidValueError):
+            CacheConfig(capacity_bytes=8192, line_bytes=48)
+
+    def test_capacity_divisibility(self):
+        with pytest.raises(InvalidValueError):
+            CacheConfig(capacity_bytes=1000, line_bytes=64, ways=4)
+
+
+class TestExactLru:
+    def _cache(self, lines=4, ways=None):
+        ways = ways or lines  # fully associative by default
+        return Cache(CacheConfig(capacity_bytes=64 * lines, line_bytes=64, ways=ways))
+
+    def test_cold_misses(self):
+        c = self._cache()
+        stats = c.access(np.array([0, 64, 128]))
+        assert stats.misses == 3 and stats.hits == 0
+
+    def test_line_granularity_hit(self):
+        c = self._cache()
+        stats = c.access(np.array([0, 4, 63]))
+        assert stats.misses == 1 and stats.hits == 2
+
+    def test_lru_eviction_order(self):
+        c = self._cache(lines=2)
+        # fill two lines, touch line0 again, insert line2: line1 evicted
+        c.access(np.array([0, 64]))
+        c.access(np.array([0]))
+        c.access(np.array([128]))
+        assert c.contains(0)
+        assert not c.contains(64)
+        assert c.contains(128)
+
+    def test_eviction_counted(self):
+        c = self._cache(lines=2)
+        stats = c.access(np.array([0, 64, 128, 192]))
+        assert stats.evictions == 2
+
+    def test_set_conflicts(self):
+        # direct-mapped: addresses one set apart conflict
+        c = Cache(CacheConfig(capacity_bytes=256, line_bytes=64, ways=1))
+        assert c.config.num_sets == 4
+        stats = c.access(np.array([0, 256, 0, 256]))  # same set, different tags
+        assert stats.hits == 0 and stats.misses == 4
+
+    def test_state_persists_across_calls(self):
+        c = self._cache()
+        c.access(np.array([0]))
+        stats = c.access(np.array([0]))
+        assert stats.hits == 1
+
+    def test_reset(self):
+        c = self._cache()
+        c.access(np.array([0]))
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.contains(0)
+
+    def test_stats_merge(self):
+        c = self._cache()
+        c.access(np.array([0, 64]))
+        c.access(np.array([0]))
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.hit_ratio == pytest.approx(1 / 3)
+
+
+class TestStreamingModel:
+    CFG = CacheConfig(capacity_bytes=16 * 1024, line_bytes=64, ways=8)
+
+    def test_unit_stride_one_pass(self):
+        # int32 unit stride: 16 accesses per line, 15/16 spatial hits
+        ratio = streaming_hit_ratio(
+            footprint_bytes=1024 * 1024,
+            stride_bytes=4,
+            element_bytes=4,
+            config=self.CFG,
+        )
+        assert ratio == pytest.approx(15 / 16)
+
+    def test_fits_second_pass_all_hits(self):
+        ratio = streaming_hit_ratio(
+            footprint_bytes=4096,
+            stride_bytes=4,
+            element_bytes=4,
+            config=self.CFG,
+            passes=2,
+        )
+        assert ratio == pytest.approx((15 / 16 + 1.0) / 2)
+
+    def test_thrash_second_pass_no_temporal_hits(self):
+        ratio1 = streaming_hit_ratio(
+            footprint_bytes=1024 * 1024,
+            stride_bytes=4,
+            element_bytes=4,
+            config=self.CFG,
+            passes=1,
+        )
+        ratio2 = streaming_hit_ratio(
+            footprint_bytes=1024 * 1024,
+            stride_bytes=4,
+            element_bytes=4,
+            config=self.CFG,
+            passes=2,
+        )
+        assert ratio2 == pytest.approx(ratio1)
+
+    def test_large_stride_no_spatial_hits(self):
+        ratio = streaming_hit_ratio(
+            footprint_bytes=1024 * 1024,
+            stride_bytes=4096,
+            element_bytes=4,
+            config=self.CFG,
+        )
+        assert ratio == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(InvalidValueError):
+            streaming_hit_ratio(
+                footprint_bytes=1024, stride_bytes=0, element_bytes=4, config=self.CFG
+            )
+        with pytest.raises(InvalidValueError):
+            streaming_hit_ratio(
+                footprint_bytes=1024,
+                stride_bytes=4,
+                element_bytes=4,
+                config=self.CFG,
+                passes=0,
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lines=st.sampled_from([8, 16, 32]),
+    ways=st.sampled_from([2, 4, 8]),
+    n_lines_touched=st.integers(1, 64),
+    passes=st.integers(1, 3),
+)
+def test_analytic_matches_exact_for_unit_stride(lines, ways, n_lines_touched, passes):
+    """Property: the closed form tracks the exact simulator for unit-stride
+    walks, within a small conflict-miss allowance."""
+    line = 64
+    cfg = CacheConfig(capacity_bytes=line * lines, line_bytes=line, ways=min(ways, lines))
+    footprint = n_lines_touched * line
+    stream = to_byte_addresses(contiguous_stream(footprint // 4), 4)
+    cache = Cache(cfg)
+    total = None
+    for _ in range(passes):
+        total = cache.stats
+        cache.access(stream)
+    exact = cache.stats.hit_ratio
+    model = streaming_hit_ratio(
+        footprint_bytes=footprint,
+        stride_bytes=4,
+        element_bytes=4,
+        config=cfg,
+        passes=passes,
+    )
+    assert model == pytest.approx(exact, abs=0.13)
+    _ = total
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stride_lines=st.integers(1, 8),
+    n=st.integers(10, 200),
+)
+def test_exact_hits_never_exceed_accesses(stride_lines, n):
+    cfg = CacheConfig(capacity_bytes=4096, line_bytes=64, ways=4)
+    cache = Cache(cfg)
+    stream = to_byte_addresses(strided_stream(n, stride_lines * 16), 4)
+    stats = cache.access(stream)
+    assert stats.hits + stats.misses == stats.accesses == n
+    assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(32, 256),
+    seed=st.integers(0, 2**16),
+)
+def test_bigger_cache_never_hits_less(n, seed):
+    """Property: for the same trace, doubling capacity cannot reduce hits
+    (LRU with nesting set mapping at fixed line size and ways)."""
+    rng = np.random.default_rng(seed)
+    trace = rng.integers(0, 64, n) * 64
+    small = Cache(CacheConfig(capacity_bytes=1024, line_bytes=64, ways=16))
+    large = Cache(CacheConfig(capacity_bytes=2048, line_bytes=64, ways=32))
+    hs = small.access(trace).hits
+    hl = large.access(trace).hits
+    assert hl >= hs

@@ -1,0 +1,116 @@
+"""Multi-level cache hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.memsim.access import contiguous_stream, strided_stream, to_byte_addresses
+from repro.memsim.cache import CacheConfig
+from repro.memsim.hierarchy import Hierarchy, Level, simulate_hierarchy
+
+L1 = Level("L1", CacheConfig(4096, line_bytes=64, ways=4), bandwidth=100e9, latency=1e-9)
+L2 = Level("L2", CacheConfig(32768, line_bytes=64, ways=8), bandwidth=50e9, latency=5e-9)
+
+
+def make() -> Hierarchy:
+    return Hierarchy([L1, L2], memory_bandwidth=10e9)
+
+
+class TestConstruction:
+    def test_requires_levels(self):
+        with pytest.raises(InvalidValueError):
+            Hierarchy([], memory_bandwidth=1e9)
+
+    def test_levels_must_grow(self):
+        with pytest.raises(InvalidValueError):
+            Hierarchy([L2, L1], memory_bandwidth=1e9)
+
+    def test_memory_bandwidth_positive(self):
+        with pytest.raises(InvalidValueError):
+            Hierarchy([L1], memory_bandwidth=0)
+
+
+class TestSimulate:
+    def test_conservation(self):
+        h = make()
+        trace = to_byte_addresses(contiguous_stream(512), 4)
+        stats = h.simulate(trace)
+        assert sum(stats.served) == stats.total == 512
+        assert stats.names == ("L1", "L2", "memory")
+
+    def test_unit_stride_mostly_l1(self):
+        h = make()
+        trace = to_byte_addresses(contiguous_stream(1024), 4)
+        stats = h.simulate(trace)
+        # 16 int32 per line: 15/16 of accesses hit L1
+        assert stats.fraction("L1") > 0.9
+
+    def test_small_working_set_repeats_stay_high(self):
+        h = make()
+        trace = np.tile(to_byte_addresses(contiguous_stream(256), 4), 4)
+        stats = h.simulate(trace)
+        assert stats.fraction("memory") < 0.05
+
+    def test_mid_working_set_served_by_l2(self):
+        h = make()
+        # 16 KiB working set: misses L1 (4 KiB) on the second pass but
+        # fits L2 (32 KiB)
+        one_pass = to_byte_addresses(strided_stream(256, 16), 4)  # 64B stride
+        trace = np.tile(one_pass, 3)
+        stats = h.simulate(trace)
+        assert stats.fraction("L2") > 0.5
+        assert stats.fraction("memory") < 0.4
+
+    def test_streaming_huge_footprint_goes_to_memory(self):
+        h = make()
+        trace = to_byte_addresses(strided_stream(4096, 16), 4)  # 256 KiB, 64B stride
+        stats = h.simulate(trace)
+        assert stats.fraction("memory") > 0.9
+
+    def test_unknown_level_name(self):
+        h = make()
+        stats = h.simulate(to_byte_addresses(contiguous_stream(16), 4))
+        with pytest.raises(InvalidValueError):
+            stats.fraction("L7")
+
+    def test_as_dict(self):
+        stats = simulate_hierarchy(
+            [L1], 10e9, to_byte_addresses(contiguous_stream(64), 4)
+        )
+        d = stats.as_dict()
+        assert set(d) == {"L1", "memory"}
+        assert sum(d.values()) == 64
+
+
+class TestAnalytic:
+    def test_fitting_stream_fast(self):
+        h = make()
+        small = h.streaming_service_time(
+            footprint_bytes=2048, stride_bytes=4, element_bytes=4, passes=4
+        )
+        large = h.streaming_service_time(
+            footprint_bytes=1 << 20, stride_bytes=4, element_bytes=4, passes=4
+        )
+        # per-byte service must be cheaper when everything fits L1
+        assert small / (2048 * 4) < large / ((1 << 20) * 4)
+
+    def test_strided_slower_than_unit(self):
+        h = make()
+        unit = h.streaming_service_time(
+            footprint_bytes=1 << 20, stride_bytes=4, element_bytes=4
+        )
+        strided = h.streaming_service_time(
+            footprint_bytes=1 << 20, stride_bytes=4096, element_bytes=4
+        )
+        assert strided > unit
+
+    def test_matches_exact_direction(self):
+        """Analytic and exact agree on which workload is cheaper."""
+        h = make()
+        fit_trace = np.tile(to_byte_addresses(contiguous_stream(512), 4), 2)
+        big_trace = to_byte_addresses(contiguous_stream(64 * 1024), 4)
+        fit_stats = h.simulate(fit_trace)
+        big_stats = h.simulate(big_trace)
+        assert fit_stats.fraction("memory") < big_stats.fraction("memory")

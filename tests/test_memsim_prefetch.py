@@ -1,0 +1,115 @@
+"""Stride-prefetcher simulation: validating the CPU model's assumption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidValueError
+from repro.memsim.access import (
+    column_major_stream,
+    contiguous_stream,
+    strided_stream,
+    to_byte_addresses,
+)
+from repro.memsim.prefetch import PrefetcherConfig, StridePrefetcher
+
+
+def run(addresses, **cfg):
+    return StridePrefetcher(PrefetcherConfig(**cfg)).run(addresses)
+
+
+class TestUnitStride:
+    def test_contiguous_high_coverage(self):
+        trace = to_byte_addresses(contiguous_stream(16384), 4)
+        stats = run(trace)
+        assert stats.coverage > 0.9
+        assert stats.accuracy > 0.9
+
+    def test_small_stride_trains(self):
+        trace = to_byte_addresses(strided_stream(4096, 4), 4)  # 16B stride
+        stats = run(trace)
+        assert stats.coverage > 0.8
+
+    def test_descending_stream_trains(self):
+        trace = to_byte_addresses(contiguous_stream(4096), 4)[::-1].copy()
+        stats = run(trace)
+        assert stats.coverage > 0.8
+
+
+class TestDefeat:
+    def test_column_walk_defeats_prefetcher(self):
+        """The paper's strided pattern: 4 KiB-class strides never train
+        (each access lands on a different page)."""
+        trace = to_byte_addresses(column_major_stream(1024, 1024), 4)
+        stats = run(trace[:16384])
+        assert stats.coverage < 0.05
+
+    def test_random_accesses_defeat_prefetcher(self):
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 1 << 28, 8192) * 64
+        stats = run(trace)
+        assert stats.coverage < 0.05
+
+    def test_page_boundary_not_crossed(self):
+        # a trained stream at the end of a page must not prefetch beyond
+        trace = to_byte_addresses(contiguous_stream(64, start=960), 4)
+        pf = StridePrefetcher()
+        pf.run(trace)  # bytes 3840..4096: the last lines of page 0
+        pages = {(ln * 64) // 4096 for ln in pf._prefetched}
+        assert pages <= {0}
+
+
+class TestMechanics:
+    def test_training_threshold(self):
+        # only two accesses: not yet trained -> nothing prefetched
+        trace = to_byte_addresses(contiguous_stream(2), 4)
+        pf = StridePrefetcher()
+        stats = pf.run(trace)
+        assert stats.issued == 0
+
+    def test_table_eviction_limits_tracking(self):
+        """Touching more pages than the table tracks round-robin evicts
+        entries, so a huge multi-stream workload trains poorly."""
+        streams = [
+            to_byte_addresses(contiguous_stream(4, start=p * 1024), 4)
+            for p in range(64)
+        ]
+        interleaved = np.stack(streams, axis=1).reshape(-1)
+        stats = run(interleaved, table_entries=4)
+        small = stats.coverage
+        stats_big = run(interleaved, table_entries=64)
+        assert stats_big.coverage >= small
+
+    def test_invalid_config(self):
+        with pytest.raises(InvalidValueError):
+            PrefetcherConfig(degree=0)
+        with pytest.raises(InvalidValueError):
+            PrefetcherConfig(train_threshold=0)
+
+    def test_stats_consistency(self):
+        trace = to_byte_addresses(contiguous_stream(1000), 4)
+        stats = run(trace)
+        assert stats.accesses == 1000
+        assert 0 <= stats.covered <= stats.demand_lines
+        assert 0.0 <= stats.coverage <= 1.0
+        assert 0.0 <= stats.accuracy <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(64, 2048),
+    stride_words=st.sampled_from([1, 2, 4, 16, 1024, 4096]),
+)
+def test_coverage_justifies_cpu_model_split(n, stride_words):
+    """Property behind the CPU model: sub-page strides are prefetchable,
+    page-plus strides are not."""
+    trace = to_byte_addresses(strided_stream(n, stride_words), 4)
+    stats = run(trace)
+    stride_bytes = stride_words * 4
+    if stride_bytes <= 64:
+        assert stats.coverage > 0.5
+    elif stride_bytes >= 4096:
+        assert stats.coverage < 0.1

@@ -1,0 +1,81 @@
+"""Foundations: error hierarchy, rng helpers, spec invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.devices.future import STRATIX_HMC, VIRTEX7_MATURE
+from repro.devices.specs import PAPER_TARGETS
+from repro.rng import DEFAULT_SEED, make_rng
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            if isinstance(exc, type) and issubclass(exc, Exception):
+                assert issubclass(exc, errors.ReproError), name
+
+    def test_value_errors_are_value_errors(self):
+        assert issubclass(errors.InvalidValueError, ValueError)
+        assert issubclass(errors.UnitParseError, ValueError)
+
+    def test_build_error_log_formatting(self):
+        err = errors.BuildError("failed", device="aocl", log="details here")
+        text = str(err)
+        assert "aocl" in text and "details here" in text
+        bare = errors.BuildError("failed", device="aocl")
+        assert "aocl" in str(bare)
+
+    def test_oclc_errors_carry_position(self):
+        err = errors.ParseError("bad token", line=3, col=7)
+        assert str(err).startswith("3:7:")
+        assert errors.ParseError("no position").line == 0
+
+    def test_resource_error_fields(self):
+        err = errors.ResourceError("too big", resource="logic", used=2.0, available=1.0)
+        assert err.resource == "logic"
+        assert err.used > err.available
+
+
+class TestRng:
+    def test_deterministic_default(self):
+        a = make_rng().integers(0, 1000, 8)
+        b = make_rng().integers(0, 1000, 8)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = make_rng(7).random(4)
+        b = make_rng(7).random(4)
+        c = make_rng(8).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_default_seed_constant(self):
+        assert isinstance(DEFAULT_SEED, int)
+
+
+class TestSpecInvariants:
+    @pytest.mark.parametrize(
+        "spec", list(PAPER_TARGETS) + [STRATIX_HMC, VIRTEX7_MATURE],
+        ids=lambda s: s.short_name,
+    )
+    def test_dram_peak_matches_headline(self, spec):
+        assert spec.dram.peak_bandwidth == pytest.approx(
+            spec.peak_bandwidth_gbs * 1e9, rel=0.01
+        )
+
+    @pytest.mark.parametrize(
+        "spec", list(PAPER_TARGETS), ids=lambda s: s.short_name
+    )
+    def test_paper_specs_have_positive_overheads(self, spec):
+        assert spec.launch_overhead_s > 0
+        assert spec.pcie.peak_bandwidth > 0
+        assert spec.global_mem_bytes > 0
+
+    def test_paper_order(self):
+        assert [s.short_name for s in PAPER_TARGETS] == [
+            "aocl", "sdaccel", "cpu", "gpu",
+        ]

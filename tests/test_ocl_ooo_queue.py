@@ -1,0 +1,142 @@
+"""Out-of-order queues: engines, wait lists, transfer/kernel overlap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.ocl import CommandQueue, Context, Program
+from repro.ocl.events import CommandType, Event
+
+COPY_SRC = """
+__kernel void copy_k(__global const int *a, __global int *c) {
+    size_t i = get_global_id(0);
+    c[i] = a[i];
+}
+"""
+
+
+def make_queue(device, out_of_order=True):
+    ctx = Context(device)
+    return ctx, CommandQueue(ctx, device, out_of_order=out_of_order)
+
+
+class TestEngines:
+    def test_h2d_and_d2h_overlap(self, gpu_device):
+        """Opposite-direction DMA engines run concurrently when OOO."""
+        ctx, q = make_queue(gpu_device)
+        a = ctx.create_buffer(size=4 * 1024 * 1024)
+        b = ctx.create_buffer(hostbuf=np.ones(1024 * 1024, np.int32))
+        src = np.zeros(1024 * 1024, np.int32)
+        dst = np.zeros(1024 * 1024, np.int32)
+        w = q.enqueue_write_buffer(a, src)
+        r = q.enqueue_read_buffer(b, dst)
+        # both started without waiting on each other
+        assert r.start < w.end
+
+    def test_same_engine_serializes(self, gpu_device):
+        ctx, q = make_queue(gpu_device)
+        buf = ctx.create_buffer(size=4 * 1024 * 1024)
+        src = np.zeros(1024 * 1024, np.int32)
+        w1 = q.enqueue_write_buffer(buf, src)
+        w2 = q.enqueue_write_buffer(buf, src)
+        assert w2.start >= w1.end
+
+    def test_kernel_overlaps_transfer(self, gpu_device):
+        """The classic double-buffering win: a kernel on buffer A runs
+        while buffer B uploads."""
+        ctx, q = make_queue(gpu_device)
+        prog = Program(ctx, COPY_SRC).build()
+        k = prog.create_kernel("copy_k")
+        a = ctx.create_buffer(hostbuf=np.arange(1 << 20, dtype=np.int32))
+        a.residency = "device"
+        c = ctx.create_buffer(size=4 << 20)
+        k.set_args(a=a, c=c)
+        other = ctx.create_buffer(size=16 << 20)
+        ev_kernel = q.enqueue_nd_range_kernel(k, (1 << 20,))
+        ev_write = q.enqueue_write_buffer(other, np.zeros(4 << 20, np.int32))
+        assert ev_write.start < ev_kernel.end  # overlapped
+
+    def test_in_order_never_overlaps(self, gpu_device):
+        ctx, q = make_queue(gpu_device, out_of_order=False)
+        buf = ctx.create_buffer(size=4 * 1024 * 1024)
+        dst = np.zeros(1024 * 1024, np.int32)
+        w = q.enqueue_write_buffer(buf, dst)
+        r = q.enqueue_read_buffer(buf, dst)
+        assert r.queued >= w.end
+
+
+class TestWaitLists:
+    def test_wait_for_orders_commands(self, gpu_device):
+        ctx, q = make_queue(gpu_device)
+        buf = ctx.create_buffer(size=1 << 20)
+        dst = np.zeros(1 << 18, np.int32)
+        w = q.enqueue_write_buffer(buf, dst)
+        r = q.enqueue_read_buffer(buf, dst, wait_for=[w])
+        assert r.submit >= w.end
+
+    def test_marker_joins_engines(self, gpu_device):
+        ctx, q = make_queue(gpu_device)
+        buf = ctx.create_buffer(size=1 << 20)
+        dst = np.zeros(1 << 18, np.int32)
+        w = q.enqueue_write_buffer(buf, dst)
+        r = q.enqueue_read_buffer(buf, dst)
+        m = q.enqueue_marker(wait_for=[w, r])
+        assert m.command is CommandType.MARKER
+        assert m.end >= max(w.end, r.end)
+        assert m.duration == 0.0
+
+    def test_incomplete_dependency_rejected(self, gpu_device):
+        ctx, q = make_queue(gpu_device)
+        buf = ctx.create_buffer(size=1 << 20)
+        pending = Event(command=CommandType.MARKER)  # complete=False
+        with pytest.raises(InvalidValueError):
+            q.enqueue_write_buffer(buf, np.zeros(16, np.int32), wait_for=[pending])
+
+    def test_finish_covers_all_engines(self, gpu_device):
+        ctx, q = make_queue(gpu_device)
+        buf = ctx.create_buffer(size=4 << 20)
+        w = q.enqueue_write_buffer(buf, np.zeros(1 << 20, np.int32))
+        dst = np.zeros(4, np.int32)
+        r = q.enqueue_read_buffer(buf, dst)
+        assert q.finish() == max(w.end, r.end)
+
+
+class TestDoubleBufferedPipeline:
+    def test_pipelining_beats_serial(self, gpu_device):
+        """Streaming N chunks with overlap must finish faster than the
+        same chunks through an in-order queue."""
+        chunks = 6
+        chunk_words = 1 << 20
+
+        def stream(out_of_order: bool) -> float:
+            ctx, q = make_queue(gpu_device, out_of_order=out_of_order)
+            prog = Program(ctx, COPY_SRC).build()
+            bufs = [
+                (
+                    ctx.create_buffer(size=4 * chunk_words),
+                    ctx.create_buffer(size=4 * chunk_words),
+                )
+                for _ in range(2)
+            ]
+            data = np.arange(chunk_words, dtype=np.int32)
+            last_kernel_on: list[Event | None] = [None, None]
+            for i in range(chunks):
+                pair = i % 2
+                a, c = bufs[pair]
+                # the upload may only clobber the buffer once the kernel
+                # that last read it (two iterations ago) has finished
+                prev = last_kernel_on[pair]
+                deps = [prev] if (out_of_order and prev) else None
+                w = q.enqueue_write_buffer(a, data, wait_for=deps)
+                k = prog.create_kernel("copy_k")
+                k.set_args(a=a, c=c)
+                last_kernel_on[pair] = q.enqueue_nd_range_kernel(
+                    k, (chunk_words,), wait_for=[w] if out_of_order else None
+                )
+            return q.finish()
+
+        serial = stream(out_of_order=False)
+        pipelined = stream(out_of_order=True)
+        assert pipelined < 0.9 * serial

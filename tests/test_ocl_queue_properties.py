@@ -1,0 +1,94 @@
+"""Property-based scheduling invariants for command queues (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ocl import CommandQueue, Context
+from repro.ocl.platform import find_device
+
+
+@st.composite
+def command_dags(draw):
+    """A random sequence of transfers with random backward dependencies."""
+    n = draw(st.integers(2, 12))
+    ops = []
+    for i in range(n):
+        direction = draw(st.sampled_from(["h2d", "d2h"]))
+        nbytes = draw(st.sampled_from([4096, 65536, 1 << 20]))
+        deps = draw(
+            st.lists(st.integers(0, i - 1), max_size=min(3, i), unique=True)
+            if i
+            else st.just([])
+        )
+        ops.append((direction, nbytes, deps))
+    return ops
+
+
+def run_dag(ops, out_of_order):
+    device = find_device("gpu")
+    ctx = Context(device)
+    q = CommandQueue(ctx, device, out_of_order=out_of_order)
+    buf = ctx.create_buffer(size=1 << 20)
+    events = []
+    for direction, nbytes, deps in ops:
+        arr = np.zeros(nbytes // 4, dtype=np.int32)
+        wait = [events[d] for d in deps] or None
+        if direction == "h2d":
+            ev = q.enqueue_write_buffer(buf, arr, wait_for=wait)
+        else:
+            ev = q.enqueue_read_buffer(buf, arr, wait_for=wait)
+        events.append(ev)
+    return q, events
+
+
+@settings(max_examples=40, deadline=None)
+@given(command_dags())
+def test_dependencies_respected(ops):
+    """No command starts before all of its wait-list events complete."""
+    _, events = run_dag(ops, out_of_order=True)
+    for (direction, nbytes, deps), ev in zip(ops, events):
+        for d in deps:
+            assert ev.start >= events[d].end - 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(command_dags())
+def test_engines_serialize(ops):
+    """Commands on one engine never overlap each other."""
+    _, events = run_dag(ops, out_of_order=True)
+    by_engine: dict[str, list] = {"h2d": [], "d2h": []}
+    for (direction, _, _), ev in zip(ops, events):
+        by_engine[direction].append(ev)
+    for engine_events in by_engine.values():
+        for first, second in zip(engine_events, engine_events[1:]):
+            assert second.start >= first.end - 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(command_dags())
+def test_timestamps_well_formed(ops):
+    for _, ev in zip(ops, run_dag(ops, out_of_order=True)[1]):
+        prof = ev.profile()
+        assert prof["queued"] <= prof["submit"] <= prof["start"] <= prof["end"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(command_dags())
+def test_in_order_is_never_faster_with_same_commands(ops):
+    """Out-of-order completion time <= in-order completion time."""
+    q_in, _ = run_dag(ops, out_of_order=False)
+    q_ooo, _ = run_dag(ops, out_of_order=True)
+    assert q_ooo.finish() <= q_in.finish() + 1e-15
+
+
+@settings(max_examples=30, deadline=None)
+@given(command_dags())
+def test_in_order_equals_sum_of_durations(ops):
+    """In-order queues fully serialize: completion = sum of durations."""
+    q, events = run_dag(ops, out_of_order=False)
+    total = sum(ev.duration for ev in events)
+    assert q.finish() == pytest.approx(total, rel=1e-9)

@@ -1,0 +1,117 @@
+"""OpenCL type system: interning, sizes, promotion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.ocl import types as T
+
+
+class TestScalars:
+    def test_interning(self):
+        assert T.scalar("int") is T.scalar("int")
+        assert T.INT is T.scalar("int")
+
+    def test_sizes(self):
+        assert T.CHAR.size == 1
+        assert T.SHORT.size == 2
+        assert T.INT.size == 4
+        assert T.LONG.size == 8
+        assert T.FLOAT.size == 4
+        assert T.DOUBLE.size == 8
+        assert T.SIZE_T.size == 8
+
+    def test_dtypes(self):
+        assert T.INT.dtype == np.dtype(np.int32)
+        assert T.UINT.dtype == np.dtype(np.uint32)
+        assert T.DOUBLE.dtype == np.dtype(np.float64)
+
+    def test_predicates(self):
+        assert T.INT.is_integer() and not T.INT.is_float()
+        assert T.DOUBLE.is_float() and not T.DOUBLE.is_integer()
+        assert T.INT.is_numeric()
+        assert not T.BOOL.is_numeric()
+
+    def test_unknown_scalar(self):
+        with pytest.raises(InvalidValueError):
+            T.scalar("quaternion")
+
+
+class TestVectors:
+    def test_interning_and_size(self):
+        v = T.vector("int", 4)
+        assert v is T.vector("int", 4)
+        assert v.size == 16
+        assert v.element is T.INT
+        assert str(v) == "int4"
+
+    def test_all_legal_widths(self):
+        for w in T.VECTOR_WIDTHS:
+            assert T.vector("double", w).size == 8 * w
+
+    def test_illegal_width(self):
+        with pytest.raises(InvalidValueError):
+            T.vector("int", 5)
+        with pytest.raises(InvalidValueError):
+            T.vector("int", 1)
+
+    def test_widen_helper(self):
+        assert T.widen("int", 1) is T.INT
+        assert T.widen("int", 8) is T.vector("int", 8)
+
+
+class TestPointers:
+    def test_pointer(self):
+        p = T.pointer(T.DOUBLE)
+        assert p.pointee is T.DOUBLE
+        assert p.address_space == "__global"
+        assert p.size == 8
+        assert "double" in str(p)
+
+    def test_bad_address_space(self):
+        with pytest.raises(InvalidValueError):
+            T.pointer(T.INT, "__weird")
+
+
+class TestParseTypeName:
+    def test_scalars_and_vectors(self):
+        assert T.parse_type_name("int") is T.INT
+        assert T.parse_type_name("double16").size == 128
+        assert T.parse_type_name("void") is T.VOID
+
+    def test_unknown(self):
+        with pytest.raises(InvalidValueError):
+            T.parse_type_name("int5")
+        with pytest.raises(InvalidValueError):
+            T.parse_type_name("floaty")
+
+
+class TestPromotion:
+    def test_float_beats_int(self):
+        assert T.common_numeric_type(T.INT, T.DOUBLE) is T.DOUBLE
+        assert T.common_numeric_type(T.FLOAT, T.LONG) is T.FLOAT
+
+    def test_wider_float_wins(self):
+        assert T.common_numeric_type(T.FLOAT, T.DOUBLE) is T.DOUBLE
+
+    def test_wider_int_wins(self):
+        assert T.common_numeric_type(T.INT, T.LONG) is T.LONG
+
+    def test_same_width_unsigned_wins(self):
+        assert T.common_numeric_type(T.INT, T.UINT) is T.UINT
+
+    def test_vector_scalar_broadcast(self):
+        v = T.vector("int", 4)
+        assert T.common_numeric_type(v, T.INT) is v
+        assert T.common_numeric_type(T.DOUBLE, v) == T.vector("double", 4)
+
+    def test_vector_vector_same_width(self):
+        a = T.vector("int", 4)
+        b = T.vector("double", 4)
+        assert T.common_numeric_type(a, b) == T.vector("double", 4)
+
+    def test_vector_width_mismatch(self):
+        with pytest.raises(InvalidValueError):
+            T.common_numeric_type(T.vector("int", 4), T.vector("int", 8))

@@ -1,0 +1,179 @@
+"""Constant folding and algebraic simplification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oclc import BufferArg, compile_source, parse, run_kernel, to_source
+from repro.oclc import cast
+from repro.oclc.fold import fold_expr, fold_unit
+from repro.oclc.parser import Parser
+from repro.oclc.lexer import tokenize
+
+
+def expr_of(text: str) -> cast.Expr:
+    """Parse a standalone expression via a wrapper kernel."""
+    unit = parse(
+        f"__kernel void k(__global int *a, __global double *d) {{ a[0] = {text}; }}"
+    )
+    stmt = unit.kernel().body.body[0]
+    assert isinstance(stmt, cast.ExprStmt)
+    return stmt.expr.value  # type: ignore[union-attr]
+
+
+def folded(text: str) -> cast.Expr:
+    return fold_expr(expr_of(text))
+
+
+class TestLiteralFolding:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1 + 2 * 3", 7),
+            ("(10 - 4) / 2", 3),
+            ("-7 / 2", -3),       # C truncation
+            ("-7 % 3", -1),
+            ("1 << 4", 16),
+            ("255 & 15", 15),
+            ("3 < 5", 1),
+            ("3 == 4", 0),
+            ("1 && 0", 0),
+            ("0 || 7", 1),
+            ("!0", 1),
+            ("-(-5)", 5),
+        ],
+    )
+    def test_int_expressions(self, text, value):
+        e = folded(text)
+        assert isinstance(e, cast.IntLiteral) and e.value == value
+
+    def test_float_fold(self):
+        e = folded("1.5 + 2.5")
+        assert isinstance(e, cast.FloatLiteral) and e.value == 4.0
+
+    def test_division_by_zero_stays_symbolic(self):
+        e = folded("1 / 0")
+        assert isinstance(e, cast.Binary)
+
+    def test_overflow_stays_symbolic(self):
+        e = folded("2000000000 + 2000000000")
+        assert isinstance(e, cast.Binary)
+
+    def test_huge_shift_stays_symbolic(self):
+        e = folded("1 << 40")
+        assert isinstance(e, cast.Binary)
+
+
+class TestIdentities:
+    def test_mul_one(self):
+        e = folded("a[0] * 1")
+        assert isinstance(e, cast.Index)
+
+    def test_add_zero(self):
+        e = folded("0 + a[0]")
+        assert isinstance(e, cast.Index)
+
+    def test_mul_zero_effect_free(self):
+        e = folded("a[0] * 0")
+        assert isinstance(e, cast.IntLiteral) and e.value == 0
+
+    def test_mul_zero_with_side_effect_kept(self):
+        unit = parse(
+            "__kernel void k(__global int *a) { int i = 0; a[0] = (i++) * 0; }"
+        )
+        f = fold_unit(unit)
+        stmt = f.kernel().body.body[1]
+        assert isinstance(stmt.expr.value, cast.Binary)  # not folded away
+
+    def test_shift_zero(self):
+        assert isinstance(folded("a[0] << 0"), cast.Index)
+
+    def test_div_one(self):
+        assert isinstance(folded("a[0] / 1"), cast.Index)
+
+
+class TestStatementFolding:
+    def test_if_true_keeps_then(self):
+        unit = parse(
+            "__kernel void k(__global int *a) { if (1) a[0] = 1; else a[0] = 2; }"
+        )
+        body = fold_unit(unit).kernel().body.body
+        assert len(body) == 1
+        assert isinstance(body[0], cast.ExprStmt)
+
+    def test_if_false_keeps_else(self):
+        unit = parse(
+            "__kernel void k(__global int *a) { if (2 > 3) a[0] = 1; else a[0] = 2; }"
+        )
+        body = fold_unit(unit).kernel().body.body
+        stmt = body[0]
+        assert isinstance(stmt.expr.value, cast.IntLiteral)
+        assert stmt.expr.value.value == 2
+
+    def test_if_false_no_else_vanishes(self):
+        unit = parse("__kernel void k(__global int *a) { if (0) a[0] = 1; a[1] = 2; }")
+        body = fold_unit(unit).kernel().body.body
+        assert len(body) == 1
+
+    def test_zero_trip_loop_vanishes(self):
+        unit = parse(
+            "__kernel void k(__global int *a) { for (int i = 0; i < 0; i++) a[i] = 1; }"
+        )
+        assert fold_unit(unit).kernel().body.body == ()
+
+    def test_false_while_vanishes(self):
+        unit = parse("__kernel void k(__global int *a) { while (0) a[0] = 1; a[1] = 1; }")
+        assert len(fold_unit(unit).kernel().body.body) == 1
+
+    def test_ternary_literal_condition(self):
+        e = folded("1 ? a[0] : a[1]")
+        assert isinstance(e, cast.Index)
+
+    def test_folded_source_parses(self):
+        unit = parse(
+            "__kernel void k(__global int *a) {"
+            " for (int i = 0; i < 4 * 4; i++) a[i] = i * 1 + 0; }"
+        )
+        text = to_source(fold_unit(unit))
+        assert "16" in text
+        parse(text)  # round-trips
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.integers(-100, 100),
+    y=st.integers(-100, 100),
+    z=st.integers(1, 10),
+)
+def test_folding_preserves_semantics(x, y, z):
+    """Property: folded and unfolded kernels compute identical results."""
+    src = (
+        "__kernel void k(__global int *a) {"
+        f" a[0] = ({x} + {y}) * {z} + {x} / {z} - ({y} % {z});"
+        f" if (({x}) < ({y})) a[1] = 1 * a[0]; else a[1] = a[0] + 0;"
+        " }"
+    )
+    unit = parse(src)
+    folded_unit = fold_unit(unit)
+
+    def run_unit(u):
+        from repro.oclc.semantic import check
+
+        program = check(u)
+        out = np.zeros(2, dtype=np.int32)
+        run_kernel(program, "k", (1,), {"a": BufferArg(out)})
+        return out
+
+    np.testing.assert_array_equal(run_unit(unit), run_unit(folded_unit))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 3), st.integers(0, 5))
+def test_fold_is_idempotent(a, b):
+    e = expr_of(f"a[0] * {a} + {b} * 1")
+    once = fold_expr(e)
+    twice = fold_expr(once)
+    assert to_source(once) == to_source(twice)

@@ -1,0 +1,366 @@
+"""Sequential interpreter: work-item semantics and C arithmetic rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError
+from repro.oclc import BufferArg, compile_source, run_kernel
+
+
+def run(src, global_size, local_size=None, defines=None, **arrays):
+    p = compile_source(src, defines)
+    args = {
+        k: BufferArg(v) if isinstance(v, np.ndarray) else v for k, v in arrays.items()
+    }
+    run_kernel(p, p.kernel().name, global_size, args, local_size)
+
+
+class TestBasicExecution:
+    def test_ndrange_copy(self):
+        a = np.arange(32, dtype=np.int32)
+        c = np.zeros(32, dtype=np.int32)
+        run(
+            "__kernel void k(__global const int *a, __global int *c)"
+            "{ size_t i = get_global_id(0); c[i] = a[i]; }",
+            (32,),
+            a=a,
+            c=c,
+        )
+        assert np.array_equal(c, a)
+
+    def test_flat_loop_triad(self):
+        b = np.arange(16, dtype=np.float64)
+        c = np.ones(16, dtype=np.float64)
+        a = np.zeros(16, dtype=np.float64)
+        run(
+            "__kernel void k(__global const double *b, __global const double *c,"
+            " __global double *a, const double q)"
+            "{ for (int i = 0; i < 16; i++) a[i] = b[i] + q * c[i]; }",
+            (1,),
+            a=a,
+            b=b,
+            c=c,
+            q=3.0,
+        )
+        assert np.allclose(a, b + 3.0)
+
+    def test_defines_set_bounds(self):
+        a = np.zeros(8, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) { for (int i = 0; i < N; i++) a[i] = i; }",
+            (1,),
+            defines={"N": "8"},
+            a=a,
+        )
+        assert np.array_equal(a, np.arange(8))
+
+    def test_if_else(self):
+        a = np.array([-3, 5, -1, 2], dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) {"
+            " size_t i = get_global_id(0);"
+            " if (a[i] < 0) a[i] = -a[i]; else a[i] = a[i] * 10; }",
+            (4,),
+            a=a,
+        )
+        assert np.array_equal(a, [3, 50, 1, 20])
+
+    def test_while_and_break(self):
+        a = np.zeros(1, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) {"
+            " int i = 0; while (1) { i++; if (i >= 10) break; } a[0] = i; }",
+            (1,),
+            a=a,
+        )
+        assert a[0] == 10
+
+    def test_continue(self):
+        a = np.zeros(8, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) {"
+            " for (int i = 0; i < 8; i++) { if (i % 2) continue; a[i] = 1; } }",
+            (1,),
+            a=a,
+        )
+        assert np.array_equal(a, [1, 0, 1, 0, 1, 0, 1, 0])
+
+    def test_early_return(self):
+        a = np.zeros(4, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) {"
+            " size_t i = get_global_id(0); if (i > 1) return; a[i] = 7; }",
+            (4,),
+            a=a,
+        )
+        assert np.array_equal(a, [7, 7, 0, 0])
+
+
+class TestWorkItemFunctions:
+    def test_local_and_group_ids(self):
+        lid = np.zeros(8, dtype=np.int32)
+        gid = np.zeros(8, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *lid, __global int *gid) {"
+            " size_t i = get_global_id(0);"
+            " lid[i] = get_local_id(0); gid[i] = get_group_id(0); }",
+            (8,),
+            (4,),
+            lid=lid,
+            gid=gid,
+        )
+        assert np.array_equal(lid, [0, 1, 2, 3, 0, 1, 2, 3])
+        assert np.array_equal(gid, [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_sizes(self):
+        out = np.zeros(3, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *out) {"
+            " out[0] = get_global_size(0);"
+            " out[1] = get_local_size(0);"
+            " out[2] = get_num_groups(0); }",
+            (6,),
+            (2,),
+            out=out,
+        )
+        assert np.array_equal(out, [6, 2, 3])
+
+    def test_out_of_range_dim(self):
+        out = np.zeros(2, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *out) {"
+            " out[0] = get_global_id(2); out[1] = get_global_size(2); }",
+            (2,),
+            out=out,
+        )
+        assert np.array_equal(out, [0, 1])
+
+
+class TestArithmeticSemantics:
+    def test_int32_wraparound(self):
+        a = np.array([2**31 - 1], dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) { a[0] = a[0] + 1; }",
+            (1,),
+            a=a,
+        )
+        assert a[0] == -(2**31)
+
+    def test_truncating_division(self):
+        a = np.array([-7, 7], dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) { a[0] = a[0] / 2; a[1] = a[1] / 2; }",
+            (1,),
+            a=a,
+        )
+        assert np.array_equal(a, [-3, 3])  # C truncates toward zero
+
+    def test_c_modulo_sign(self):
+        a = np.array([-7], dtype=np.int32)
+        run("__kernel void k(__global int *a) { a[0] = a[0] % 3; }", (1,), a=a)
+        assert a[0] == -1  # C: sign follows dividend
+
+    def test_division_by_zero(self):
+        a = np.array([1], dtype=np.int32)
+        with pytest.raises(InterpError):
+            run("__kernel void k(__global int *a) { a[0] = a[0] / 0; }", (1,), a=a)
+
+    def test_increment_semantics(self):
+        a = np.zeros(2, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) {"
+            " int i = 5; a[0] = i++; a[1] = ++i; }",
+            (1,),
+            a=a,
+        )
+        assert np.array_equal(a, [5, 7])
+
+    def test_compound_assign_to_memory(self):
+        a = np.array([10], dtype=np.int32)
+        run("__kernel void k(__global int *a) { a[0] += 5; }", (1,), a=a)
+        assert a[0] == 15
+
+    def test_shift_and_bitops(self):
+        a = np.array([0b1010], dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) { a[0] = (a[0] << 2) | 1; }",
+            (1,),
+            a=a,
+        )
+        assert a[0] == 0b101001
+
+    def test_ternary(self):
+        a = np.array([4, -4], dtype=np.int32)
+        run(
+            "__kernel void k(__global int *a) {"
+            " size_t i = get_global_id(0); a[i] = a[i] > 0 ? 1 : -1; }",
+            (2,),
+            a=a,
+        )
+        assert np.array_equal(a, [1, -1])
+
+    def test_float_cast(self):
+        a = np.array([0], dtype=np.int32)
+        run("__kernel void k(__global int *a) { a[0] = (int)2.9; }", (1,), a=a)
+        assert a[0] == 2
+
+
+class TestVectors:
+    def test_vector_copy_and_arith(self):
+        a = np.arange(16, dtype=np.int32)
+        c = np.zeros(16, dtype=np.int32)
+        run(
+            "__kernel void k(__global const int4 *a, __global int4 *c) {"
+            " size_t i = get_global_id(0); c[i] = a[i] + a[i]; }",
+            (4,),
+            a=a,
+            c=c,
+        )
+        assert np.array_equal(c, 2 * a)
+
+    def test_vector_literal_and_swizzle(self):
+        out = np.zeros(4, dtype=np.int32)
+        run(
+            "__kernel void k(__global int *out) {"
+            " int4 v = (int4)(10, 20, 30, 40);"
+            " out[0] = v.x; out[1] = v.s3; out[2] = v.lo.y; out[3] = v.hi.x; }",
+            (1,),
+            out=out,
+        )
+        assert np.array_equal(out, [10, 40, 20, 30])
+
+    def test_swizzle_store(self):
+        out = np.zeros(4, dtype=np.int32)
+        run(
+            "__kernel void k(__global int4 *out) {"
+            " int4 v = (int4)(0); v.s1 = 9; out[0] = v; }",
+            (1,),
+            out=out,
+        )
+        assert np.array_equal(out, [0, 9, 0, 0])
+
+    def test_scalar_broadcast(self):
+        out = np.zeros(4, dtype=np.int32)
+        run(
+            "__kernel void k(__global int4 *out, const int q) {"
+            " out[0] = (int4)(1, 2, 3, 4) * q; }",
+            (1,),
+            out=out,
+            q=3,
+        )
+        assert np.array_equal(out, [3, 6, 9, 12])
+
+
+class TestGuards:
+    def test_missing_argument(self):
+        p = compile_source("__kernel void k(__global int *a) { a[0] = 1; }")
+        with pytest.raises(InterpError):
+            run_kernel(p, "k", (1,), {})
+
+    def test_unknown_argument(self):
+        p = compile_source("__kernel void k(__global int *a) { a[0] = 1; }")
+        with pytest.raises(InterpError):
+            run_kernel(
+                p, "k", (1,), {"a": BufferArg(np.zeros(1, np.int32)), "zz": 1}
+            )
+
+    def test_wrong_dtype(self):
+        a = np.zeros(4, dtype=np.float32)
+        with pytest.raises(InterpError):
+            run("__kernel void k(__global int *a) { a[0] = 1; }", (1,), a=a)
+
+    def test_out_of_bounds(self):
+        a = np.zeros(4, dtype=np.int32)
+        with pytest.raises(InterpError):
+            run("__kernel void k(__global int *a) { a[9] = 1; }", (1,), a=a)
+
+    def test_bad_local_size(self):
+        a = np.zeros(4, dtype=np.int32)
+        with pytest.raises(InterpError):
+            run(
+                "__kernel void k(__global int *a) { a[0] = 1; }",
+                (4,),
+                (3,),
+                a=a,
+            )
+
+    def test_barrier_rejected(self):
+        a = np.zeros(4, dtype=np.int32)
+        with pytest.raises(InterpError):
+            run(
+                "__kernel void k(__global int *a) { barrier(1); a[0] = 1; }",
+                (2,),
+                a=a,
+            )
+
+    def test_buffer_must_be_1d(self):
+        with pytest.raises(InterpError):
+            BufferArg(np.zeros((2, 2), dtype=np.int32))
+
+
+class TestUserFunctions:
+    def test_scalar_helper(self):
+        src = """
+int twice(const int x) { return x + x; }
+__kernel void k(__global int *a) {
+    size_t i = get_global_id(0);
+    a[i] = twice(a[i]);
+}
+"""
+        a = np.arange(8, dtype=np.int32)
+        run(src, (8,), a=a)
+        assert np.array_equal(a, 2 * np.arange(8))
+
+    def test_nested_helpers(self):
+        src = """
+double sq(const double x) { return x * x; }
+double poly(const double x) { return sq(x) + 2.0 * x + 1.0; }
+__kernel void k(__global const double *a, __global double *c) {
+    size_t i = get_global_id(0);
+    c[i] = poly(a[i]);
+}
+"""
+        a = np.linspace(-2, 2, 8)
+        c = np.zeros(8)
+        run(src, (8,), a=a, c=c)
+        assert np.allclose(c, (a + 1) ** 2)
+
+    def test_helper_with_buffer_argument(self):
+        src = """
+int head(__global const int *p) { return p[0]; }
+__kernel void k(__global const int *a, __global int *c) {
+    size_t i = get_global_id(0);
+    c[i] = head(a) + (int)i;
+}
+"""
+        a = np.full(4, 10, dtype=np.int32)
+        c = np.zeros(4, dtype=np.int32)
+        run(src, (4,), a=a, c=c)
+        assert np.array_equal(c, [10, 11, 12, 13])
+
+    def test_helper_with_control_flow(self):
+        src = """
+int clampi(const int x, const int lo, const int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}
+__kernel void k(__global int *a) {
+    size_t i = get_global_id(0);
+    a[i] = clampi(a[i], 0, 5);
+}
+"""
+        a = np.array([-3, 2, 9, 5], dtype=np.int32)
+        run(src, (4,), a=a)
+        assert np.array_equal(a, [0, 2, 5, 5])
+
+    def test_recursion_depth_guard(self):
+        src = """
+int boom(const int x) { return boom(x) + 1; }
+__kernel void k(__global int *a) { a[0] = boom(1); }
+"""
+        a = np.zeros(1, dtype=np.int32)
+        with pytest.raises(InterpError):
+            run(src, (1,), a=a)

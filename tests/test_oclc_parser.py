@@ -1,0 +1,207 @@
+"""Parser: grammar coverage and diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.oclc import cast
+from repro.oclc.parser import parse
+
+COPY = """
+__kernel void copy_k(__global const int *a, __global int *c) {
+    size_t i = get_global_id(0);
+    c[i] = a[i];
+}
+"""
+
+
+class TestFunctions:
+    def test_kernel_flag_and_name(self):
+        unit = parse(COPY)
+        k = unit.kernel()
+        assert k.is_kernel and k.name == "copy_k"
+        assert k.return_type == "void"
+
+    def test_params(self):
+        k = parse(COPY).kernel()
+        assert [p.name for p in k.params] == ["a", "c"]
+        assert all(p.is_pointer for p in k.params)
+        assert k.params[0].address_space == "__global"
+        assert "const" in k.params[0].qualifiers
+
+    def test_scalar_param(self):
+        src = "__kernel void f(__global int *a, const double q) { a[0] = q; }"
+        k = parse(src).kernel()
+        assert not k.params[1].is_pointer
+        assert k.params[1].type_name == "double"
+
+    def test_default_pointer_address_space_is_global(self):
+        src = "__kernel void f(int *a) { a[0] = 1; }"
+        assert parse(src).kernel().params[0].address_space == "__global"
+
+    def test_multiple_functions_and_kernel_lookup(self):
+        src = COPY + "\n__kernel void other(__global int *c) { c[0] = 1; }"
+        unit = parse(src)
+        assert unit.kernel("other").name == "other"
+        with pytest.raises(ValueError):
+            unit.kernel()  # ambiguous
+        with pytest.raises(KeyError):
+            unit.kernel("missing")
+
+    def test_attributes(self):
+        src = """
+__kernel __attribute__((reqd_work_group_size(64, 1, 1)))
+__attribute__((num_simd_work_items(4)))
+void f(__global int *a) { a[0] = 1; }
+"""
+        k = parse(src).kernel()
+        names = {a.name: a.args for a in k.attributes}
+        assert names["reqd_work_group_size"] == (64, 1, 1)
+        assert names["num_simd_work_items"] == (4,)
+
+    def test_attribute_without_args(self):
+        src = "__kernel __attribute__((xcl_pipeline_loop)) void f(__global int *a) { a[0]=1; }"
+        k = parse(src).kernel()
+        assert k.attributes[0].name == "xcl_pipeline_loop"
+        assert k.attributes[0].args == ()
+
+
+class TestStatements:
+    def _body(self, code: str) -> cast.Block:
+        return parse(f"__kernel void f(__global int *a) {{\n{code}\n}}").kernel().body
+
+    def test_declarations(self):
+        body = self._body("int x = 3; const int y = x;")
+        decls = [s for s in body.body if isinstance(s, cast.DeclStmt)]
+        assert [d.name for d in decls] == ["x", "y"]
+        assert "const" in decls[1].qualifiers
+
+    def test_if_else(self):
+        body = self._body("if (a[0] > 0) a[0] = 1; else a[0] = 2;")
+        stmt = body.body[0]
+        assert isinstance(stmt, cast.If)
+        assert stmt.other is not None
+
+    def test_for_loop_decl_init(self):
+        body = self._body("for (int i = 0; i < 8; i++) a[i] = i;")
+        loop = body.body[0]
+        assert isinstance(loop, cast.For)
+        assert isinstance(loop.init, cast.DeclStmt)
+        assert loop.unroll == 1
+
+    def test_for_loop_expr_init(self):
+        body = self._body("int i = 0; for (i = 0; i < 8; i++) a[i] = i;")
+        loop = body.body[1]
+        assert isinstance(loop.init, cast.ExprStmt)
+
+    def test_pragma_unroll_attaches(self):
+        body = self._body("#pragma unroll 4\nfor (int i = 0; i < 8; i++) a[i] = i;")
+        loop = body.body[0]
+        assert isinstance(loop, cast.For) and loop.unroll == 4
+
+    def test_pragma_unroll_full(self):
+        body = self._body("#pragma unroll\nfor (int i = 0; i < 8; i++) a[i] = i;")
+        assert body.body[0].unroll == 0  # 0 = full unroll
+
+    def test_pragma_unroll_requires_for(self):
+        with pytest.raises(ParseError):
+            self._body("#pragma unroll 4\nint x = 1;")
+
+    def test_while_break_continue_return(self):
+        body = self._body("while (1) { if (a[0]) break; continue; } return;")
+        loop = body.body[0]
+        assert isinstance(loop, cast.While)
+        assert isinstance(body.body[1], cast.Return)
+
+    def test_empty_statement(self):
+        body = self._body(";")
+        assert isinstance(body.body[0], cast.Block) and body.body[0].body == ()
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("__kernel void f(__global int *a) { a[0] = 1;")
+
+
+class TestExpressions:
+    def _expr(self, code: str) -> cast.Expr:
+        body = parse(
+            f"__kernel void f(__global int *a, __global int *b) {{ a[0] = {code}; }}"
+        ).kernel().body
+        stmt = body.body[0]
+        assert isinstance(stmt, cast.ExprStmt)
+        assert isinstance(stmt.expr, cast.Assign)
+        return stmt.expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, cast.Binary) and e.op == "+"
+        assert isinstance(e.right, cast.Binary) and e.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self._expr("1 << 2 < 3")
+        assert e.op == "<" and e.left.op == "<<"
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*" and isinstance(e.left, cast.Binary) and e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = self._expr("8 - 4 - 2")
+        assert e.op == "-" and isinstance(e.left, cast.Binary)
+
+    def test_ternary(self):
+        e = self._expr("b[0] ? 1 : 2")
+        assert isinstance(e, cast.Conditional)
+
+    def test_unary_and_postfix(self):
+        e = self._expr("-b[0]")
+        assert isinstance(e, cast.Unary) and e.op == "-"
+
+    def test_call(self):
+        e = self._expr("max(b[0], 3)")
+        assert isinstance(e, cast.Call) and e.func == "max" and len(e.args) == 2
+
+    def test_cast_expression(self):
+        e = self._expr("(double)b[0]")
+        assert isinstance(e, cast.Cast) and e.type_name == "double"
+
+    def test_vector_literal(self):
+        src = """
+__kernel void f(__global int4 *a) {
+    int4 v = (int4)(1, 2, 3, 4);
+    a[0] = v;
+}
+"""
+        body = parse(src).kernel().body
+        decl = body.body[0]
+        assert isinstance(decl.init, cast.VectorLiteral)
+        assert len(decl.init.elements) == 4
+
+    def test_vector_splat(self):
+        src = "__kernel void f(__global int4 *a) { a[0] = (int4)(7); }"
+        stmt = parse(src).kernel().body.body[0]
+        assert isinstance(stmt.expr.value, cast.VectorLiteral)
+
+    def test_paren_cast_of_scalar_is_cast(self):
+        e = self._expr("(double)(b[0])")
+        assert isinstance(e, cast.Cast)
+
+    def test_swizzle(self):
+        src = "__kernel void f(__global int4 *a) { int4 v = a[0]; int x = v.s0; a[0] = v; }"
+        body = parse(src).kernel().body
+        assert isinstance(body.body[1].init, cast.Swizzle)
+
+    def test_assignment_target_validation(self):
+        with pytest.raises(ParseError):
+            parse("__kernel void f(__global int *a) { 3 = a[0]; }")
+
+    def test_compound_assignment(self):
+        src = "__kernel void f(__global int *a) { a[0] += 2; }"
+        stmt = parse(src).kernel().body.body[0]
+        assert stmt.expr.op == "+="
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError) as err:
+            parse("__kernel void f(__global int *a) { a[0] = ; }")
+        assert err.value.line > 0

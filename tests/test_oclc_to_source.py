@@ -1,0 +1,129 @@
+"""Pretty-printer coverage: every node shape prints and reparses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oclc import compile_source, parse, to_source
+from repro.oclc import cast
+
+ROUND_TRIP_SOURCES = [
+    # while / break / continue
+    """
+__kernel void k(__global int *a) {
+    int i = 0;
+    while (i < 10) {
+        i++;
+        if (i == 3) continue;
+        if (i == 7) break;
+        a[i] = i;
+    }
+}
+""",
+    # conditional expression and compound assignment
+    """
+__kernel void k(__global int *a) {
+    size_t i = get_global_id(0);
+    a[i] = a[i] > 0 ? a[i] : -a[i];
+    a[i] += 2;
+    a[i] <<= 1;
+}
+""",
+    # vector literals, swizzles, casts
+    """
+__kernel void k(__global int4 *a, __global double *d) {
+    int4 v = (int4)(1, 2, 3, 4);
+    v.s01 = v.hi;
+    a[0] = v * (int4)(2);
+    d[0] = (double)v.x;
+}
+""",
+    # attributes and unroll pragma
+    """
+__kernel __attribute__((reqd_work_group_size(64, 1, 1))) __attribute__((num_simd_work_items(4)))
+void k(__global const int *a, __global int *c) {
+    size_t i = get_global_id(0);
+    c[i] = a[i];
+}
+""",
+    # helper function with return value
+    """
+int helper(const int x) {
+    return x * 2 + 1;
+}
+__kernel void k(__global int *a) {
+    a[0] = helper(a[1]);
+}
+""",
+    # vload/vstore calls
+    """
+__kernel void k(__global const int *a, __global int *c) {
+    size_t i = get_global_id(0);
+    vstore4(vload4(i, a), i, c);
+}
+""",
+    # unroll pragma on inner loop of a nest
+    """
+__kernel void k(__global int *c) {
+    for (int i = 0; i < 4; i++) {
+#pragma unroll 2
+        for (int j = 0; j < 8; j++) {
+            c[i * 8 + j] = i + j;
+        }
+    }
+}
+""",
+]
+
+
+@pytest.mark.parametrize("src", ROUND_TRIP_SOURCES, ids=range(len(ROUND_TRIP_SOURCES)))
+def test_print_reparse_fixed_point(src):
+    unit = parse(src)
+    printed = to_source(unit)
+    reparsed = parse(printed)
+    assert to_source(reparsed) == printed
+    # the printed form is valid input for the whole front-end
+    compile_source(printed)
+
+
+def test_precedence_parenthesization():
+    unit = parse(
+        "__kernel void k(__global int *a) { a[0] = (1 + 2) * (3 - 4); }"
+    )
+    text = to_source(unit)
+    assert "(1 + 2) * (3 - 4)" in text
+
+
+def test_right_associative_nesting_preserved():
+    unit = parse("__kernel void k(__global int *a) { a[0] = 8 - (4 - 2); }")
+    text = to_source(unit)
+    reparsed = parse(text)
+    # evaluating both trees must agree (8 - (4-2)) = 6, not (8-4)-2 = 2
+    import numpy as np
+
+    from repro.oclc import BufferArg, run_kernel
+    from repro.oclc.semantic import check
+
+    for u in (unit, reparsed):
+        out = np.zeros(1, dtype=np.int32)
+        run_kernel(check(u), "k", (1,), {"a": BufferArg(out)})
+        assert out[0] == 6
+
+
+def test_unroll_pragma_printed():
+    unit = parse(
+        "__kernel void k(__global int *a) {\n#pragma unroll 4\n"
+        "for (int i = 0; i < 8; i++) a[i] = i; }"
+    )
+    assert "#pragma unroll 4" in to_source(unit)
+
+
+def test_standalone_pragma_statement():
+    stmt = cast.Pragma("ivdep", line=1)
+    assert "ivdep" in to_source(stmt)
+
+
+def test_empty_kernel_prints():
+    unit = parse("__kernel void k(__global int *a) { }")
+    assert "{" in to_source(unit)
+    parse(to_source(unit))

@@ -1,0 +1,119 @@
+"""Units: parsing, formatting, conversions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import UnitParseError
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert units.parse_size("512") == 512
+        assert units.parse_size(512) == 512
+        assert units.parse_size(512.0) == 512
+
+    def test_binary_prefixes(self):
+        assert units.parse_size("4MiB") == 4 * 1024**2
+        assert units.parse_size("1KiB") == 1024
+        assert units.parse_size("2GiB") == 2 * 1024**3
+        assert units.parse_size("3K") == 3 * 1024
+        assert units.parse_size("3M") == 3 * 1024**2
+
+    def test_decimal_prefixes(self):
+        assert units.parse_size("4MB") == 4_000_000
+        assert units.parse_size("1KB") == 1000
+        assert units.parse_size("2GB") == 2 * 10**9
+
+    def test_case_insensitive(self):
+        assert units.parse_size("4mib") == 4 * 1024**2
+        assert units.parse_size("4MB") == units.parse_size("4mb")
+
+    def test_whitespace_and_fraction(self):
+        assert units.parse_size(" 1.5 KiB ") == 1536
+
+    def test_scientific_notation(self):
+        assert units.parse_size("1e3") == 1000
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UnitParseError):
+            units.parse_size("four megabytes")
+        with pytest.raises(UnitParseError):
+            units.parse_size("4XB")
+        with pytest.raises(UnitParseError):
+            units.parse_size("")
+
+
+class TestParseFrequencyAndTime:
+    def test_frequency(self):
+        assert units.parse_frequency("200MHz") == 200e6
+        assert units.parse_frequency("1.05 GHz") == pytest.approx(1.05e9)
+        assert units.parse_frequency("50 kHz") == 50e3
+
+    def test_frequency_must_be_positive(self):
+        with pytest.raises(UnitParseError):
+            units.parse_frequency("0Hz")
+
+    def test_time(self):
+        assert units.parse_time("15us") == pytest.approx(15e-6)
+        assert units.parse_time("3ms") == pytest.approx(3e-3)
+        assert units.parse_time("2s") == 2.0
+        assert units.parse_time("7ns") == pytest.approx(7e-9)
+
+    def test_time_unknown_suffix(self):
+        with pytest.raises(UnitParseError):
+            units.parse_time("5 fortnights")
+
+
+class TestFormatting:
+    def test_format_size_binary(self):
+        assert units.format_size(4 * 1024**2) == "4.00 MiB"
+        assert units.format_size(0) == "0 B"
+        assert units.format_size(512) == "512 B"
+
+    def test_format_size_decimal(self):
+        assert units.format_size(25_600_000_000, decimal=True) == "25.60 GB"
+
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(25.1e9) == "25.100 GB/s"
+
+    def test_format_time_ranges(self):
+        assert units.format_time(0) == "0 s"
+        assert "ns" in units.format_time(5e-9)
+        assert "us" in units.format_time(5e-6)
+        assert "ms" in units.format_time(5e-3)
+        assert units.format_time(2.5).endswith(" s")
+
+    def test_format_frequency(self):
+        assert units.format_frequency(316e6) == "316.0 MHz"
+        assert units.format_frequency(2.5e9) == "2.50 GHz"
+        assert units.format_frequency(50e3) == "50.0 kHz"
+        assert units.format_frequency(10) == "10 Hz"
+
+
+class TestBandwidthMath:
+    def test_bandwidth_gbs(self):
+        assert units.bandwidth_gbs(1e9, 1.0) == pytest.approx(1.0)
+        assert units.bandwidth_gbs(2e9, 0.5) == pytest.approx(4.0)
+
+    def test_bandwidth_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_gbs(100, 0)
+
+    def test_geomean(self):
+        assert units.geomean([4.0, 1.0]) == pytest.approx(2.0)
+        assert units.geomean([5.0]) == pytest.approx(5.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.geomean([])
+        with pytest.raises(ValueError):
+            units.geomean([1.0, 0.0])
+
+    def test_geomean_matches_log_identity(self):
+        values = [1.5, 2.5, 10.0, 0.3]
+        expect = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert units.geomean(values) == pytest.approx(expect)

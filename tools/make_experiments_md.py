@@ -1,0 +1,395 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every figure.
+
+Runs every figure of the paper's evaluation at the paper's scale
+through :mod:`repro.figures` and writes a Markdown report pairing each
+measured series with the values digitized from the paper. Run from the
+repository root:
+
+    python tools/make_experiments_md.py [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import date
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from paper_data import (  # noqa: E402
+    FIG1A_PAPER,
+    FIG1A_SIZES_BYTES,
+    FIG1B_PAPER,
+    FIG1B_WIDTHS,
+    FIG2_STRIDED_PAPER,
+    FIG3_PAPER,
+    FIG4A_PAPER,
+)
+
+from repro import figures  # noqa: E402
+
+TARGETS = ("aocl", "sdaccel", "cpu", "gpu")
+NTIMES = 3
+
+
+def fmt(x: float) -> str:
+    return f"{x:.2f}" if x >= 0.1 else f"{x:.3f}"
+
+
+def table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    out = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    out += ["| " + " | ".join(r) + " |" for r in rows]
+    out.append("")
+    return out
+
+
+def paired_table(
+    measured: dict[str, list[tuple[float, float]]],
+    paper: dict[str, list[float]],
+    x_label: str,
+    xs: list[float],
+) -> list[str]:
+    headers = [x_label]
+    for t in measured:
+        headers += [f"{t} (model)", f"{t} (paper)"]
+    rows = []
+    lookup = {t: dict(pts) for t, pts in measured.items()}
+    for i, x in enumerate(xs):
+        row = [fmt(x)]
+        for t in measured:
+            got = lookup[t].get(x)
+            row.append(fmt(got) if got is not None else "n/a")
+            refs = paper.get(t.split("-")[0] if "-" in t else t)
+            row.append(fmt(paper[t][i]) if t in paper and i < len(paper[t]) else
+                       (fmt(refs[i]) if refs and i < len(refs) else "-"))
+        rows.append(row)
+    return table(headers, rows)
+
+
+def main(out_path: str) -> None:
+    lines: list[str] = []
+    w = lines.append
+    w("# EXPERIMENTS — paper vs. model")
+    w("")
+    w(
+        "Every figure of the paper's evaluation, regenerated with this "
+        "repository's simulated heterogeneous OpenCL stack "
+        f"(`python tools/make_experiments_md.py`, last run {date.today()}). "
+        "All bandwidths in decimal GB/s; paper values are digitized from "
+        "the published figures. The models are calibrated once (see "
+        "`repro/devices/specs.py`); the success criterion is the *shape* — "
+        "orderings, crossovers, plateaus — with magnitudes within about 2x."
+    )
+    w("")
+
+    # -- Fig 1a ---------------------------------------------------------------
+    w("## Figure 1a — COPY bandwidth vs array size")
+    w("")
+    fig1a = figures.fig1a_array_size(sizes=FIG1A_SIZES_BYTES, ntimes=NTIMES)
+    xs = [s / (1024 * 1024) for s in FIG1A_SIZES_BYTES]
+    lines += paired_table(fig1a, FIG1A_PAPER, "MiB/array", xs)
+    w(
+        "Shape check: every target rises monotonically and plateaus near "
+        "4 MB; sustained ordering GPU > CPU > AOCL > SDAccel — as in the "
+        "paper. Note the paper's GPU keeps gaining slightly past 4 MB; the "
+        "model reproduces that too."
+    )
+    w("")
+
+    # -- Fig 1b ---------------------------------------------------------------
+    w("## Figure 1b — COPY bandwidth vs vector width (4 MB)")
+    w("")
+    fig1b = figures.fig1b_vector_width(widths=FIG1B_WIDTHS, ntimes=NTIMES)
+    lines += paired_table(fig1b, FIG1B_PAPER, "width", [float(v) for v in FIG1B_WIDTHS])
+    w(
+        "Shape check: vectorization lifts both FPGAs toward their DRAM "
+        "limits (AOCL ~6x, SDAccel ~8x), barely moves the CPU, and *hurts* "
+        "the GPU at width 16 (register pressure + split transactions cut "
+        "the latency-hiding parallelism). The paper's CPU row sits ~25% "
+        "above ours because its Fig 1b CPU numbers are also ~25% above its "
+        "own Fig 1a plateau for the same configuration."
+    )
+    w("")
+
+    # -- Fig 2 ----------------------------------------------------------------
+    w("## Figure 2 — contiguous vs strided across sizes")
+    w("")
+    fig2 = figures.fig2_contiguity(sizes=FIG1A_SIZES_BYTES, ntimes=NTIMES)
+    contig = {t: fig2[f"{t}-contig"] for t in TARGETS}
+    strided = {t: fig2[f"{t}-strided"] for t in TARGETS}
+    w("### contiguous series (same workload as Fig 1a)")
+    w("")
+    lines += paired_table(contig, FIG1A_PAPER, "MiB/array", xs)
+    w("### strided series (column-major walk of the row-major 2-D array)")
+    w("")
+    lines += paired_table(strided, FIG2_STRIDED_PAPER, "MiB/array", xs)
+    w(
+        "Shape check: strided access degrades every target; SDAccel "
+        "collapses to ~0.01 GB/s flat (blocking LSU, no bursts); CPU and "
+        "GPU show the cache-reuse bump at mid sizes and fall once a column "
+        "of lines outgrows LLC/L2+TLB reach. Known deviation: the paper's "
+        "AOCL strided series bumps to 1.7 GB/s around 2-4 MB before "
+        "falling; our model shows a monotone fall to the same floor — we "
+        "could not derive a mechanism for that bump from the paper's "
+        "description of the workload."
+    )
+    w("")
+
+    # -- Fig 3 ----------------------------------------------------------------
+    w("## Figure 3 — loop management (4 MB copy)")
+    w("")
+    fig3 = figures.fig3_loop_management(ntimes=NTIMES)
+    nd = dict(fig3["ndrange-kernel"])
+    flat = dict(fig3["kernel-loop-flat"])
+    nested = dict(fig3["kernel-loop-nested"])
+    rows = []
+    for i, t in enumerate(TARGETS):
+        p = FIG3_PAPER[t]
+        rows.append(
+            [
+                t,
+                fmt(nd[float(i)]),
+                fmt(p[0]),
+                fmt(flat[float(i)]),
+                fmt(p[1]),
+                fmt(nested[float(i)]),
+                fmt(p[2]),
+            ]
+        )
+    lines += table(
+        [
+            "target",
+            "ndrange (model)",
+            "ndrange (paper)",
+            "flat (model)",
+            "flat (paper)",
+            "nested (model)",
+            "nested (paper)",
+        ],
+        rows,
+    )
+    w(
+        "Shape check: CPU/GPU want NDRange; both FPGAs want single "
+        "work-item loops; SDAccel's *nested* loop beats its flat loop by "
+        ">5x (inner-loop burst inference — the paper's anomaly); a single "
+        "work-item on the GPU is three orders of magnitude slow. Paper "
+        "values are approximate readings of its log-scale bars."
+    )
+    w("")
+
+    # -- Fig 4a ---------------------------------------------------------------
+    w("## Figure 4a — all four STREAM kernels (4 MB)")
+    w("")
+    fig4a = figures.fig4a_all_kernels(ntimes=NTIMES)
+    rows = []
+    for i, t in enumerate(TARGETS):
+        row = [t]
+        for k in ("copy", "scale", "add", "triad"):
+            got = dict(fig4a[k]).get(float(i))
+            row.append(fmt(got) if got is not None else "n/a")
+            row.append(fmt(FIG4A_PAPER[t][k]))
+        rows.append(row)
+    headers = ["target"]
+    for k in ("copy", "scale", "add", "triad"):
+        headers += [f"{k} (model)", f"{k} (paper)"]
+    lines += table(headers, rows)
+    w(
+        "Shape check: all four kernels are memory-bound — per target they "
+        "land within a small factor of each other, with the 3-array "
+        "kernels slightly higher in counted GB/s, as in the paper."
+    )
+    w("")
+
+    # -- Fig 4b ---------------------------------------------------------------
+    w("## Figure 4b — AOCL vendor optimizations vs native vectorization (4 MB)")
+    w("")
+    fig4b = figures.fig4b_aocl_optimizations(ntimes=NTIMES)
+    vec = dict(fig4b["vector-width"])
+    simd = dict(fig4b["simd-work-items"])
+    cu = dict(fig4b["compute-units"])
+    rows = []
+    for n in FIG1B_WIDTHS:
+        rows.append(
+            [
+                str(n),
+                fmt(vec.get(float(n), float("nan"))) if float(n) in vec else "n/a",
+                fmt(simd[float(n)]) if float(n) in simd else "did not fit",
+                fmt(cu[float(n)]) if float(n) in cu else "did not fit",
+                fmt(FIG1B_PAPER["aocl"][FIG1B_WIDTHS.index(n)]),
+            ]
+        )
+    lines += table(
+        ["N", "vector width", "SIMD work-items", "compute units", "paper (vector)"],
+        rows,
+    )
+    w(
+        "Shape check: native vectorization scales furthest and most "
+        "predictably; SIMD work-items trail it with growing dispatch "
+        "losses; compute-unit replication peaks early, then falls as the "
+        "units fight over DRAM banks — and at N=16 the replicated design "
+        "no longer fits the Stratix V at all (the vendor knobs also cost "
+        "more logic at equal N, matching the paper's resource observation)."
+    )
+    w("")
+
+    # -- extras ---------------------------------------------------------------
+    w("## §IV setup table — targets")
+    w("")
+    rows = [
+        [str(r["target"]), str(r["device"]), str(r["peak_bw_gbs"])]
+        for r in figures.targets_table()
+    ]
+    lines += table(["target", "device", "peak GB/s"], rows)
+
+    w("## Extra: host<->device (PCIe) streams (§III locus parameter)")
+    w("")
+    pcie = figures.pcie_streams(sizes=FIG1A_SIZES_BYTES, ntimes=NTIMES)
+    headers = ["MiB"] + list(pcie)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [fmt(x)]
+        for t in pcie:
+            got = dict(pcie[t]).get(x)
+            row.append(fmt(got) if got is not None else "n/a")
+        rows.append(row)
+    lines += table(headers, rows)
+    w(
+        "No paper figure exists for this axis; the series shows the "
+        "expected latency-bound-to-protocol-limited transition of each "
+        "board's link."
+    )
+    w("")
+
+    w("## Extra: unroll-factor ablation (§III parameter, no paper figure)")
+    w("")
+    unroll = figures.ablation_unroll(ntimes=NTIMES)
+    headers = ["unroll"] + list(unroll)
+    rows = []
+    for u in (1, 2, 4, 8, 16):
+        row = [str(u)]
+        for t in unroll:
+            got = dict(unroll[t]).get(float(u))
+            row.append(fmt(got) if got is not None else "n/a")
+        rows.append(row)
+    lines += table(headers, rows)
+    w(
+        "Unrolling widens a burst-capable pipeline exactly like "
+        "vectorization (AOCL), and buys nothing on a blocking LSU "
+        "(SDAccel flat loops)."
+    )
+    w("")
+
+    w("## Extra: data pre-shaping (§IV observation)")
+    w("")
+    pre = figures.ablation_preshaping(ntimes=NTIMES)
+    rows = [
+        [
+            t,
+            fmt(v["strided_gbs"]),
+            fmt(v["contiguous_gbs"]),
+            f"{v['speedup']:.1f}x",
+            f"{v['breakeven_passes']:.1f}",
+        ]
+        for t, v in pre.items()
+    ]
+    lines += table(
+        ["target", "strided GB/s", "contiguous GB/s", "per-pass speedup", "break-even passes"],
+        rows,
+    )
+    w(
+        "One host-side transpose amortizes within a handful of passes "
+        "everywhere strided access collapses — the paper's 'pre-shaping' "
+        "recommendation, quantified."
+    )
+    w("")
+
+    # -- extensions -------------------------------------------------------------
+    w("## Extension: energy efficiency (§IV future work)")
+    w("")
+    from repro.core import BenchmarkRunner, TuningParameters, optimal_loop_for
+    from repro.devices.energy import energy_report
+
+    rows = []
+    for target in TARGETS:
+        runner = BenchmarkRunner(target, ntimes=NTIMES)
+        width = 16 if target in ("aocl", "sdaccel") else 1
+        tuned = runner.run(
+            TuningParameters(
+                array_bytes=4 * 1024 * 1024,
+                loop=optimal_loop_for(target),
+                vector_width=width,
+            )
+        )
+        rep = energy_report(tuned)
+        rows.append(
+            [
+                target,
+                fmt(tuned.bandwidth_gbs),
+                fmt(rep.gb_per_joule),
+                fmt(rep.average_power_w),
+            ]
+        )
+    lines.extend(
+        table(["target", "tuned GB/s", "GB per joule", "avg power W"], rows)
+    )
+    w(
+        "The paper's prediction holds in the model: the GPU wins raw "
+        "bandwidth, the vectorized AOCL FPGA wins bytes-per-joule."
+    )
+    w("")
+
+    w("## Extension: outlook targets (§IV: HMC boards, maturing toolchains)")
+    w("")
+    from repro.core import AccessPattern, LoopManagement
+
+    tuned_p = TuningParameters(
+        array_bytes=4 * 1024 * 1024, loop=LoopManagement.FLAT, vector_width=16
+    )
+    strided_p = TuningParameters(
+        array_bytes=4 * 1024 * 1024,
+        loop=LoopManagement.FLAT,
+        pattern=AccessPattern.STRIDED,
+    )
+    rows = []
+    for target in ("aocl", "aocl-hmc", "sdaccel", "sdaccel-mature"):
+        runner = BenchmarkRunner(target, ntimes=NTIMES)
+        rows.append(
+            [
+                target,
+                fmt(runner.run(tuned_p).bandwidth_gbs),
+                fmt(runner.run(strided_p).bandwidth_gbs),
+            ]
+        )
+    lines.extend(table(["target", "tuned (vec16 flat) GB/s", "strided GB/s"], rows))
+    w(
+        "The hypothetical HMC board lifts both the tuned bandwidth and "
+        "the strided floor by an order of magnitude (vault-level "
+        "parallelism); the matured toolchain removes the flat-loop "
+        "penalty that produced Fig 3's SDAccel anomaly."
+    )
+    w("")
+
+    w("## Extension: GPU-STREAM baseline cross-check")
+    w("")
+    from repro.gpustream import run_gpu_stream
+
+    rows = []
+    for target in TARGETS:
+        gs = run_gpu_stream(target, array_bytes=4 * 1024 * 1024, ntimes=NTIMES)
+        rows.append([target] + [fmt(gs[k].bandwidth_gbs) for k in ("copy", "mul", "add", "triad")])
+    lines.extend(table(["target", "copy", "mul", "add", "triad"], rows))
+    w(
+        "An independent implementation of the paper's reference [3] "
+        "(NDRange, double precision) agrees with MP-STREAM's equivalent "
+        "configuration on CPU/GPU and under-uses both FPGAs — the gap "
+        "that motivated MP-STREAM in the first place."
+    )
+    w("")
+
+    Path(out_path).write_text("\n".join(lines))
+    print(f"wrote {out_path} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Render every paper figure to a plain-text chart + data table.
+
+Writes ``figures/figN*.txt`` files containing the ASCII chart and the
+numeric series for each figure of the paper, at the paper's scale.
+Useful for eyeballing the reproduction without a plotting stack.
+
+    python tools/render_figures.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import figures
+from repro.core import ascii_chart, series_table
+
+DEFAULT_SIZES = figures.DEFAULT_SIZES
+
+
+def render(name: str, series: dict, *, x_label: str, log_x: bool = True) -> str:
+    chart = ascii_chart(
+        series, width=72, height=20, log_x=log_x, log_y=True, title=name
+    )
+    table = series_table(series, x_label=x_label)
+    return f"{chart}\n\n{table}\n"
+
+
+def main(out_dir: str) -> None:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    jobs = {
+        "fig1a_array_size": (
+            lambda: figures.fig1a_array_size(sizes=DEFAULT_SIZES, ntimes=3),
+            {"x_label": "MiB/array", "log_x": True},
+        ),
+        "fig1b_vector_width": (
+            lambda: figures.fig1b_vector_width(ntimes=3),
+            {"x_label": "vector width", "log_x": True},
+        ),
+        "fig2_contiguity": (
+            lambda: figures.fig2_contiguity(sizes=DEFAULT_SIZES, ntimes=3),
+            {"x_label": "MiB/array", "log_x": True},
+        ),
+        "fig3_loop_management": (
+            lambda: figures.fig3_loop_management(ntimes=3),
+            {"x_label": "target index (aocl,sdaccel,cpu,gpu)", "log_x": False},
+        ),
+        "fig4a_all_kernels": (
+            lambda: figures.fig4a_all_kernels(ntimes=3),
+            {"x_label": "target index (aocl,sdaccel,cpu,gpu)", "log_x": False},
+        ),
+        "fig4b_aocl_optimizations": (
+            lambda: figures.fig4b_aocl_optimizations(ntimes=3),
+            {"x_label": "N", "log_x": True},
+        ),
+        "extra_pcie_streams": (
+            lambda: figures.pcie_streams(sizes=DEFAULT_SIZES, ntimes=3),
+            {"x_label": "MiB/transfer", "log_x": True},
+        ),
+        "extra_unroll": (
+            lambda: figures.ablation_unroll(ntimes=3),
+            {"x_label": "unroll factor", "log_x": True},
+        ),
+    }
+    for name, (fn, opts) in jobs.items():
+        series = fn()
+        text = render(name, series, **opts)  # type: ignore[arg-type]
+        path = out / f"{name}.txt"
+        path.write_text(text)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")
