@@ -22,7 +22,6 @@ import numpy as np
 
 from repro import find_device
 from repro.ocl import CommandQueue, Context, Program
-from repro.units import MIB
 
 N1D = 1 << 20  # 4 MiB of int32
 N2D = 1 << 10  # 1024 x 1024 grid

@@ -24,7 +24,9 @@ from __future__ import annotations
 from .core import (
     AccessPattern,
     BenchmarkRunner,
+    BuildCache,
     DataType,
+    ExecutionEngine,
     KernelName,
     LoopManagement,
     ParameterSweep,
@@ -51,6 +53,8 @@ __all__ = [
     "LoopManagement",
     "StreamLocus",
     "BenchmarkRunner",
+    "ExecutionEngine",
+    "BuildCache",
     "RunResult",
     "ResultSet",
     "ParameterSweep",

@@ -24,6 +24,7 @@ from .core import (
     KernelName,
     LoopManagement,
     ParameterSweep,
+    RunResult,
     StreamLocus,
     TuningParameters,
     ascii_chart,
@@ -81,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep axis, e.g. vector_width=1,2,4,8,16 (repeatable)",
     )
     sweep.add_argument("--ntimes", type=int, default=3)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep points on N worker threads (results stay in grid order)",
+    )
     sweep.add_argument("--csv", metavar="PATH")
     sweep.add_argument(
         "--save", metavar="PATH", help="append results to a JSONL history file"
@@ -143,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_point_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", default="cpu", help="aocl|sdaccel|cpu|gpu")
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compile/plan artifact cache (every point pays "
+        "the full front-end and device build)",
+    )
+    parser.add_argument(
         "--kernel", default="copy", choices=[k.value for k in KernelName]
     )
     parser.add_argument("--size", default="4MiB", help="bytes per array, e.g. 4MiB")
@@ -156,7 +170,7 @@ def _add_point_args(parser: argparse.ArgumentParser) -> None:
         choices=[p.value for p in AccessPattern],
     )
     parser.add_argument(
-        "--loop", default=None, choices=[l.value for l in LoopManagement],
+        "--loop", default=None, choices=[mode.value for mode in LoopManagement],
         help="loop management (default: the target's optimal mode)",
     )
     parser.add_argument("--unroll", type=int, default=1)
@@ -234,9 +248,15 @@ def _cmd_devices(_: argparse.Namespace) -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace, ntimes: int) -> BenchmarkRunner:
+    return BenchmarkRunner(
+        args.target, ntimes=ntimes, cache=not getattr(args, "no_cache", False)
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
-    runner = BenchmarkRunner(args.target, ntimes=args.ntimes)
+    runner = _make_runner(args, args.ntimes)
     if args.all_kernels:
         results = runner.run_all_kernels(params)
         print(stream_table(results))
@@ -259,12 +279,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _sweep_progress(result: RunResult) -> None:
+    engine_info = result.detail.get("engine", {})
+    tag = ""
+    if isinstance(engine_info, dict) and engine_info.get("frontend_cache") == "hit":
+        tag = "  [cached front-end]"
+    print(result.summary() + tag)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     base = _params_from(args)
     axes = dict(_parse_axis(a) for a in args.axis)
     sweep = ParameterSweep(base=base, axes=axes)
-    runner = BenchmarkRunner(args.target, ntimes=args.ntimes)
-    results = explore(runner, sweep, progress=lambda r: print(r.summary()))
+    runner = _make_runner(args, args.ntimes)
+    results = explore(runner, sweep, jobs=args.jobs, progress=_sweep_progress)
     print()
     print(results_table(results))
     best = results.best()
@@ -275,6 +303,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     for changes, reason in sweep.skipped:
         print(f"skipped {changes}: {reason}")
+    stats = runner.engine.stats_snapshot()
+    stage_s = stats["stage_s"]
+    print(
+        f"\n{len(results)} point(s) on {args.jobs} job(s), "
+        f"{len(sweep.skipped)} invalid point(s) skipped; "
+        f"cache: front-end {stats['frontend_hits']} hit"
+        f"/{stats['frontend_misses']} miss, "
+        f"plans {stats['plan_hits']} hit/{stats['plan_misses']} miss"
+    )
+    print(
+        "stage wall time: "
+        + ", ".join(f"{name} {stage_s[name]:.3f}s" for name in sorted(stage_s))
+    )
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -353,7 +394,7 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             "vector_width": [1, 2, 4, 8, 16],
             "unroll": [1, 2, 4],
         }
-    runner = BenchmarkRunner(args.target, ntimes=args.ntimes)
+    runner = _make_runner(args, args.ntimes)
     out = autotune(runner, axes, seed=seed, budget=args.budget)
     print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
     for desc, bw in out.trajectory:
@@ -370,7 +411,7 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     from .devices.energy import energy_report
 
     params = _params_from(args)
-    result = BenchmarkRunner(args.target, ntimes=args.ntimes).run(params)
+    result = _make_runner(args, args.ntimes).run(params)
     if not result.ok:
         print(f"error: {result.error}", file=sys.stderr)
         return 1

@@ -12,7 +12,9 @@ Public API sketch::
 
 from __future__ import annotations
 
+from ..ocl.program import BuildCache
 from .autotune import AutotuneResult, autotune
+from .engine import STAGES, EngineStats, ExecutionEngine
 from .generator import GeneratedKernel, generate
 from .history import CompareEntry, compare_results, load_results, save_results
 from .kernels import KERNELS, SCALAR_Q, KernelSpec, initial_arrays, reference
@@ -48,6 +50,10 @@ __all__ = [
     "GeneratedKernel",
     "generate",
     "BenchmarkRunner",
+    "ExecutionEngine",
+    "EngineStats",
+    "BuildCache",
+    "STAGES",
     "optimal_loop_for",
     "RunResult",
     "ResultSet",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..errors import SweepError
+from .engine import ExecutionEngine
 from .params import TuningParameters
 from .results import ResultSet, RunResult
 from .runner import BenchmarkRunner
@@ -42,7 +43,7 @@ class AutotuneResult:
 
 
 def autotune(
-    runner: BenchmarkRunner,
+    runner: BenchmarkRunner | ExecutionEngine,
     axes: Mapping[str, Sequence[object]],
     *,
     seed: TuningParameters | None = None,
@@ -54,9 +55,15 @@ def autotune(
     ``axes`` maps :class:`TuningParameters` fields to candidate values
     (each axis should include the seed's value). Points that fail to
     validate or to build count against the budget but never win.
+
+    Evaluations go through the staged execution engine, so revisiting a
+    neighbourhood (coordinate descent re-scans axes every round) reuses
+    cached front-end and plan artifacts on top of the exact-point memo
+    below.
     """
     if budget < 1:
         raise SweepError(f"budget must be >= 1, got {budget}")
+    engine = runner.engine if isinstance(runner, BenchmarkRunner) else runner
     valid_fields = set(TuningParameters.__dataclass_fields__)
     unknown = set(axes) - valid_fields
     if unknown:
@@ -76,7 +83,7 @@ def autotune(
         if spent >= budget:
             return None
         spent += 1
-        result = runner.run(params)
+        result = engine.run(params)
         cache[params] = result
         evaluations.add(result)
         return result

@@ -1,0 +1,438 @@
+"""The staged execution engine: generate → compile → plan → execute.
+
+MP-STREAM's value is the *campaign* — thousands of tuning-parameter
+points swept per target — and the monolithic run path used to pay the
+whole cost (source generation, front-end lex/parse/type-check, device
+build, fresh context and queue) at every single point.
+:class:`ExecutionEngine` splits that path into four explicit stages
+with cached artifacts between them:
+
+1. **generate** — parameter point -> concrete kernel source
+   (:func:`repro.core.generator.generate`; pure and cheap);
+2. **compile** — source -> :class:`~repro.oclc.CheckedProgram` through
+   the memoized front-end, content-addressed by
+   ``(source, effective -D defines)``;
+3. **plan** — checked program -> per-device
+   :class:`~repro.devices.base.ExecutionPlan` via the device model's
+   plan-cache hook, keyed by ``(source, defines, device)``; build
+   *failures* (FPGA resource overflow) are cached and replayed too;
+4. **execute** — launch on a long-lived context/queue pair, warm-up +
+   ``ntimes`` timed repetitions, STREAM validation.
+
+Sweep points that differ only in array size or repetition count reuse
+the stage-2/3 artifacts outright (an NDRange kernel's source never
+mentions ``N``), so a 100-point campaign runs the front-end a handful
+of times instead of 100.
+
+Every :class:`~repro.core.results.RunResult` carries per-point
+instrumentation under ``detail["engine"]``: per-stage wall seconds and
+the cache outcome of the compile and plan stages. Campaign-wide
+counters live on :attr:`ExecutionEngine.stats` /
+:meth:`ExecutionEngine.stats_snapshot`.
+
+Concurrency: one engine owns one context/queue and is *not* re-entrant,
+but :meth:`worker_clone` derives sibling engines that share the build
+cache and the stats sink — the parallel sweep executor gives each
+worker thread its own clone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import BenchmarkError, ReproError, ValidationError
+from ..ocl import Buffer, CommandQueue, Context, Program
+from ..ocl.platform import Device, find_device
+from ..ocl.program import BuildCache
+from .generator import GeneratedKernel, generate
+from .kernels import KERNELS, SCALAR_Q, initial_arrays
+from .params import StreamLocus, TuningParameters
+from .results import RunResult
+from .validate import validate_solution
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..devices.base import ExecutionPlan
+    from ..oclc import CheckedProgram
+
+__all__ = ["ExecutionEngine", "EngineStats", "STAGES"]
+
+#: pipeline stage names, in order
+STAGES = ("generate", "compile", "plan", "execute")
+
+
+class EngineStats:
+    """Campaign-wide stage timing and point counters.
+
+    Shared (thread-safely) between an engine and its worker clones, so
+    a parallel sweep aggregates into one place.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.stage_s: dict[str, float] = {name: 0.0 for name in STAGES}
+        self.points = 0
+        self.failures = 0
+
+    def record_point(self, stage_s: dict[str, float], ok: bool) -> None:
+        with self._lock:
+            self.points += 1
+            if not ok:
+                self.failures += 1
+            for name, seconds in stage_s.items():
+                self.stage_s[name] = self.stage_s.get(name, 0.0) + seconds
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "points": self.points,
+                "failures": self.failures,
+                "stage_s": dict(self.stage_s),
+            }
+
+
+class _StageClock:
+    """Collects wall time per stage for one point."""
+
+    def __init__(self) -> None:
+        self.stage_s: dict[str, float] = {}
+
+    def timed(self, name: str):
+        clock = self
+
+        class _Span:
+            def __enter__(self):
+                self._t0 = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc: object) -> None:
+                clock.stage_s[name] = clock.stage_s.get(name, 0.0) + (
+                    time.perf_counter() - self._t0
+                )
+
+        return _Span()
+
+
+class ExecutionEngine:
+    """Cached, staged benchmark execution on one target device."""
+
+    def __init__(
+        self,
+        device: Device | str,
+        *,
+        ntimes: int = 5,
+        warmup: int = 1,
+        validate: bool = True,
+        cache: BuildCache | bool = True,
+        stats: EngineStats | None = None,
+    ):
+        if isinstance(device, str):
+            device = find_device(device)
+        if ntimes < 1:
+            raise BenchmarkError(f"ntimes must be >= 1, got {ntimes}")
+        self.device = device
+        self.ntimes = ntimes
+        self.warmup = warmup
+        self.validate = validate
+        if cache is True:
+            self.cache: BuildCache | None = BuildCache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.stats = stats if stats is not None else EngineStats()
+        self._ctx: Context | None = None
+        self._queue: CommandQueue | None = None
+
+    @property
+    def target(self) -> str:
+        return self.device.short_name
+
+    def worker_clone(self) -> "ExecutionEngine":
+        """A sibling engine for another thread: shares the build cache
+        and the stats sink, owns a fresh context/queue."""
+        return ExecutionEngine(
+            self.device,
+            ntimes=self.ntimes,
+            warmup=self.warmup,
+            validate=self.validate,
+            cache=self.cache if self.cache is not None else False,
+            stats=self.stats,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, params: TuningParameters) -> RunResult:
+        """Run one parameter point; never raises for per-point failures.
+
+        Build failures (including FPGA resource overflows) and
+        validation failures come back as a failed :class:`RunResult`
+        with the reason recorded, so sweeps can keep going — exactly
+        what a long DSE campaign needs.
+        """
+        clock = _StageClock()
+        try:
+            if params.locus is StreamLocus.HOST:
+                result = self._run_host_stream(params, clock)
+            else:
+                result = self._run_device_stream(params, clock)
+        except ValidationError as exc:
+            result = self._failure(params, f"validation: {exc}", clock)
+        except ReproError as exc:
+            result = self._failure(params, f"{type(exc).__name__}: {exc}", clock)
+        self.stats.record_point(clock.stage_s, result.ok)
+        return result
+
+    def run_all_kernels(self, params: TuningParameters) -> list[RunResult]:
+        """Run COPY/SCALE/ADD/TRIAD at the same parameter point."""
+        return [self.run(params.with_(kernel=k)) for k in KERNELS]
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Campaign counters: stage seconds, points, cache hits/misses."""
+        out = self.stats.snapshot()
+        if self.cache is not None:
+            out.update(self.cache.stats())
+        else:
+            out.update(
+                frontend_hits=0,
+                frontend_misses=0,
+                plan_hits=0,
+                plan_misses=0,
+                frontend_entries=0,
+            )
+        return out
+
+    # -- stages -----------------------------------------------------------------
+
+    def _stage_generate(
+        self, params: TuningParameters, clock: _StageClock
+    ) -> GeneratedKernel:
+        with clock.timed("generate"):
+            return generate(params)
+
+    def _stage_compile(
+        self, gen: GeneratedKernel, clock: _StageClock
+    ) -> tuple["CheckedProgram", str]:
+        from ..oclc import compile_source
+
+        with clock.timed("compile"):
+            if self.cache is None:
+                return compile_source(
+                    gen.source, {k: str(v) for k, v in gen.defines.items()}
+                ), "off"
+            checked, hit = self.cache.frontend(gen.source, gen.defines)
+            return checked, "hit" if hit else "miss"
+
+    def _stage_plan(
+        self, gen: GeneratedKernel, checked: "CheckedProgram", clock: _StageClock
+    ) -> tuple["ExecutionPlan", str]:
+        from ..devices.base import BuildOptions
+
+        defines = {k: str(v) for k, v in gen.defines.items()}
+        options = BuildOptions(defines=defines)
+
+        def build() -> "ExecutionPlan":
+            from ..errors import BuildError
+
+            try:
+                return self.device.model.build(checked, options)
+            except BuildError:
+                raise
+            except ReproError as exc:
+                raise BuildError(
+                    f"build failed for {self.device.short_name}",
+                    device=self.device.short_name,
+                    log=str(exc),
+                ) from exc
+
+        with clock.timed("plan"):
+            if self.cache is None:
+                return build(), "off"
+            plan, hit = self.cache.plan(gen.source, defines, self.device, build)
+            return plan, "hit" if hit else "miss"
+
+    # -- device-stream mode -------------------------------------------------------
+
+    def _run_device_stream(
+        self, params: TuningParameters, clock: _StageClock
+    ) -> RunResult:
+        gen = self._stage_generate(params, clock)
+        checked, frontend_outcome = self._stage_compile(gen, clock)
+        plan, plan_outcome = self._stage_plan(gen, checked, clock)
+
+        with clock.timed("execute"):
+            ctx, queue = self._runtime()
+            program = Program.from_artifacts(
+                ctx,
+                gen.source,
+                checked=checked,
+                plans={self.device.short_name: plan},
+                defines=gen.defines,
+            )
+            kernel = program.create_kernel(gen.kernel_name)
+
+            initial = initial_arrays(params.word_count, params.dtype)
+            buffers = self._make_buffers(ctx, initial)
+            try:
+                self._bind(kernel, params, buffers)
+
+                for _ in range(self.warmup):
+                    queue.enqueue_nd_range_kernel(
+                        kernel, gen.global_size, gen.local_size
+                    )
+                times = []
+                last_detail: dict[str, object] = {}
+                for _ in range(self.ntimes):
+                    event = queue.enqueue_nd_range_kernel(
+                        kernel, gen.global_size, gen.local_size
+                    )
+                    times.append(event.latency)
+                    last_detail = dict(event.detail)
+
+                validated = False
+                if self.validate:
+                    observed = {
+                        name: buffers[name].view(initial[name].dtype).copy()
+                        for name in ("a", "b", "c")
+                    }
+                    validate_solution(
+                        params.kernel,
+                        params.dtype,
+                        initial,
+                        observed,
+                        touched_words=gen.touched_words,
+                    )
+                    validated = True
+            finally:
+                self._release(ctx, buffers)
+
+        last_detail["build_log"] = program.build_log(self.device)
+        last_detail["generated_source"] = gen.source
+        last_detail["engine"] = self._instrumentation(
+            clock, frontend_outcome, plan_outcome
+        )
+        return RunResult(
+            target=self.target,
+            params=params,
+            times=tuple(times),
+            moved_bytes=params.moved_bytes,
+            validated=validated,
+            detail=last_detail,
+        )
+
+    def _make_buffers(
+        self, ctx: Context, initial: dict[str, np.ndarray]
+    ) -> dict[str, Buffer]:
+        buffers: dict[str, Buffer] = {}
+        for name in ("a", "b", "c"):
+            buffers[name] = ctx.create_buffer(hostbuf=initial[name])
+            # pre-place on the device so warm-up measures steady state
+            buffers[name].residency = "device"
+        return buffers
+
+    def _bind(
+        self,
+        kernel: "object",
+        params: TuningParameters,
+        buffers: dict[str, Buffer],
+    ) -> None:
+        spec = KERNELS[params.kernel]
+        named: dict[str, object] = {
+            name: buffers[name] for name in (*spec.reads, spec.writes)
+        }
+        if spec.uses_scalar:
+            named["q"] = SCALAR_Q
+        kernel.set_args(**named)  # type: ignore[attr-defined]
+
+    # -- host-stream (PCIe) mode ------------------------------------------------------
+
+    def _run_host_stream(
+        self, params: TuningParameters, clock: _StageClock
+    ) -> RunResult:
+        """Measure host->device->host streaming over the interconnect."""
+        with clock.timed("execute"):
+            ctx, queue = self._runtime()
+            initial = initial_arrays(params.word_count, params.dtype)
+            src = initial["a"]
+            dst = np.empty_like(src)
+            buffer = ctx.create_buffer(size=params.array_bytes)
+            try:
+                times = []
+                for _ in range(self.warmup + self.ntimes):
+                    w = queue.enqueue_write_buffer(buffer, src)
+                    r = queue.enqueue_read_buffer(buffer, dst)
+                    times.append((w.end - w.queued) + (r.end - r.queued))
+                times = times[self.warmup :]
+
+                validated = False
+                if self.validate:
+                    if not np.array_equal(dst, src):
+                        raise ValidationError(
+                            "host-stream round trip corrupted data"
+                        )
+                    validated = True
+            finally:
+                self._release(ctx, {"xfer": buffer})
+        return RunResult(
+            target=self.target,
+            params=params,
+            times=tuple(times),
+            moved_bytes=2 * params.array_bytes,  # one write + one read
+            validated=validated,
+            detail={
+                "mode": "host-stream",
+                "engine": self._instrumentation(clock, "off", "off"),
+            },
+        )
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _runtime(self) -> tuple[Context, CommandQueue]:
+        """The engine's long-lived context/queue pair (created lazily).
+
+        The queue's virtual clock is restarted for every point so the
+        measurement is independent of campaign position; its warm
+        kernel-specialization cache survives the reset.
+        """
+        if self._ctx is None:
+            self._ctx = Context(self.device)
+            self._queue = CommandQueue(self._ctx, self.device)
+        assert self._queue is not None
+        self._queue.reset_profile()
+        return self._ctx, self._queue
+
+    def _release(self, ctx: Context, buffers: dict[str, Buffer]) -> None:
+        for buffer in buffers.values():
+            if not buffer.released:
+                buffer.release()
+        ctx.prune_released()
+
+    def _instrumentation(
+        self, clock: _StageClock, frontend: str, plan: str
+    ) -> dict[str, object]:
+        return {
+            "stage_s": {
+                name: clock.stage_s.get(name, 0.0) for name in STAGES
+            },
+            "frontend_cache": frontend,
+            "plan_cache": plan,
+        }
+
+    def _failure(
+        self, params: TuningParameters, error: str, clock: _StageClock
+    ) -> RunResult:
+        detail: dict[str, object] = {
+            "engine": self._instrumentation(clock, "n/a", "n/a")
+        }
+        return RunResult(
+            target=self.target,
+            params=params,
+            times=(),
+            moved_bytes=params.moved_bytes,
+            validated=False,
+            error=error,
+            detail=detail,
+        )

@@ -70,6 +70,25 @@ class RunResult:
             "error": self.error,
         }
 
+    def fingerprint(self) -> str:
+        """Deterministic identity of the *measurement*.
+
+        Everything the benchmark measured — times, bytes, validation,
+        error text, model detail — serialized canonically, with the
+        ``detail["engine"]`` instrumentation excluded: cache outcomes
+        and stage wall-times describe how a result was *obtained*
+        (cold vs cached, serial vs parallel), not what was measured.
+        Two runs of the same point must produce equal fingerprints
+        regardless of cache state or executor schedule.
+        """
+        detail = {k: v for k, v in self.detail.items() if k != "engine"}
+        payload = {
+            "row": self.row(),
+            "times_s": list(self.times),
+            "detail": detail,
+        }
+        return json.dumps(payload, sort_keys=True, default=repr)
+
     def summary(self) -> str:
         if not self.ok:
             return f"[{self.target}] {self.params.describe()}: FAILED ({self.error})"

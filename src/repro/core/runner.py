@@ -1,4 +1,4 @@
-"""The benchmark runner: buffers, repetitions, timing, validation.
+"""The benchmark runner: the stable front door to the execution engine.
 
 Follows stream.c's discipline:
 
@@ -16,26 +16,32 @@ included), matching how the paper's small-array points roll off.
 ``StreamLocus.HOST`` measures the host<->device interconnect instead:
 a timed ``enqueue_write_buffer`` + ``enqueue_read_buffer`` per
 repetition, counting the bytes crossing PCIe.
+
+The staged pipeline itself (generate → compile → plan → execute, with
+content-addressed artifact caching and per-stage instrumentation) lives
+in :mod:`repro.core.engine`; :class:`BenchmarkRunner` wraps one
+:class:`~repro.core.engine.ExecutionEngine` so every existing call site
+— sweeps, autotune, figures, CLI — rides the cached path for free.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..errors import BenchmarkError, ReproError, ValidationError
-from ..ocl import Buffer, CommandQueue, Context, Program
-from ..ocl.platform import Device, find_device
-from .generator import GeneratedKernel, generate
-from .kernels import KERNELS, SCALAR_Q, initial_arrays
-from .params import StreamLocus, TuningParameters
+from ..ocl.platform import Device
+from ..ocl.program import BuildCache
+from .engine import ExecutionEngine
+from .params import LoopManagement, TuningParameters
 from .results import RunResult
-from .validate import validate_solution
 
-__all__ = ["BenchmarkRunner"]
+__all__ = ["BenchmarkRunner", "optimal_loop_for"]
 
 
 class BenchmarkRunner:
-    """Runs tuning-parameter points on one target device."""
+    """Runs tuning-parameter points on one target device.
+
+    A thin façade over :class:`~repro.core.engine.ExecutionEngine`;
+    ``cache=False`` disables artifact caching (every point pays the
+    full front-end + device build, the pre-engine behaviour).
+    """
 
     def __init__(
         self,
@@ -44,19 +50,19 @@ class BenchmarkRunner:
         ntimes: int = 5,
         warmup: int = 1,
         validate: bool = True,
+        cache: BuildCache | bool = True,
     ):
-        if isinstance(device, str):
-            device = find_device(device)
-        if ntimes < 1:
-            raise BenchmarkError(f"ntimes must be >= 1, got {ntimes}")
-        self.device = device
+        self.engine = ExecutionEngine(
+            device, ntimes=ntimes, warmup=warmup, validate=validate, cache=cache
+        )
+        self.device = self.engine.device
         self.ntimes = ntimes
         self.warmup = warmup
         self.validate = validate
 
     @property
     def target(self) -> str:
-        return self.device.short_name
+        return self.engine.target
 
     # -- public API -----------------------------------------------------------
 
@@ -68,149 +74,15 @@ class BenchmarkRunner:
         with the reason recorded, so sweeps can keep going — exactly
         what a long DSE campaign needs.
         """
-        try:
-            if params.locus is StreamLocus.HOST:
-                return self._run_host_stream(params)
-            return self._run_device_stream(params)
-        except ValidationError as exc:
-            return RunResult(
-                target=self.target,
-                params=params,
-                times=(),
-                moved_bytes=params.moved_bytes,
-                validated=False,
-                error=f"validation: {exc}",
-            )
-        except ReproError as exc:
-            return RunResult(
-                target=self.target,
-                params=params,
-                times=(),
-                moved_bytes=params.moved_bytes,
-                validated=False,
-                error=f"{type(exc).__name__}: {exc}",
-            )
+        return self.engine.run(params)
 
     def run_all_kernels(self, params: TuningParameters) -> list[RunResult]:
         """Run COPY/SCALE/ADD/TRIAD at the same parameter point."""
-        return [self.run(params.with_(kernel=k)) for k in KERNELS]
-
-    # -- device-stream mode -------------------------------------------------------
-
-    def _run_device_stream(self, params: TuningParameters) -> RunResult:
-        gen = generate(params)
-        ctx = Context(self.device)
-        queue = CommandQueue(ctx, self.device)
-        program = Program(ctx, gen.source).build(defines=gen.defines)
-        kernel = program.create_kernel(gen.kernel_name)
-
-        initial = initial_arrays(params.word_count, params.dtype)
-        buffers = self._make_buffers(ctx, params, initial, gen)
-        self._bind(kernel, params, buffers)
-
-        for _ in range(self.warmup):
-            queue.enqueue_nd_range_kernel(kernel, gen.global_size, gen.local_size)
-        times = []
-        last_detail: dict[str, object] = {}
-        for _ in range(self.ntimes):
-            event = queue.enqueue_nd_range_kernel(
-                kernel, gen.global_size, gen.local_size
-            )
-            times.append(event.latency)
-            last_detail = dict(event.detail)
-
-        validated = False
-        if self.validate:
-            observed = {
-                name: buffers[name].view(initial[name].dtype).copy()
-                for name in ("a", "b", "c")
-            }
-            validate_solution(
-                params.kernel,
-                params.dtype,
-                initial,
-                observed,
-                touched_words=gen.touched_words,
-            )
-            validated = True
-
-        last_detail["build_log"] = program.build_log(self.device)
-        last_detail["generated_source"] = gen.source
-        return RunResult(
-            target=self.target,
-            params=params,
-            times=tuple(times),
-            moved_bytes=params.moved_bytes,
-            validated=validated,
-            detail=last_detail,
-        )
-
-    def _make_buffers(
-        self,
-        ctx: Context,
-        params: TuningParameters,
-        initial: dict[str, np.ndarray],
-        gen: GeneratedKernel,
-    ) -> dict[str, Buffer]:
-        buffers: dict[str, Buffer] = {}
-        for name in ("a", "b", "c"):
-            buffers[name] = ctx.create_buffer(hostbuf=initial[name])
-            # pre-place on the device so warm-up measures steady state
-            buffers[name].residency = "device"
-        _ = gen
-        return buffers
-
-    def _bind(
-        self,
-        kernel: "object",
-        params: TuningParameters,
-        buffers: dict[str, Buffer],
-    ) -> None:
-        spec = KERNELS[params.kernel]
-        named: dict[str, object] = {
-            name: buffers[name] for name in (*spec.reads, spec.writes)
-        }
-        if spec.uses_scalar:
-            named["q"] = SCALAR_Q
-        kernel.set_args(**named)  # type: ignore[attr-defined]
-
-    # -- host-stream (PCIe) mode ------------------------------------------------------
-
-    def _run_host_stream(self, params: TuningParameters) -> RunResult:
-        """Measure host->device->host streaming over the interconnect."""
-        ctx = Context(self.device)
-        queue = CommandQueue(ctx, self.device)
-        initial = initial_arrays(params.word_count, params.dtype)
-        src = initial["a"]
-        dst = np.empty_like(src)
-        buffer = ctx.create_buffer(size=params.array_bytes)
-
-        times = []
-        for _ in range(self.warmup + self.ntimes):
-            w = queue.enqueue_write_buffer(buffer, src)
-            r = queue.enqueue_read_buffer(buffer, dst)
-            times.append((w.end - w.queued) + (r.end - r.queued))
-        times = times[self.warmup :]
-
-        validated = False
-        if self.validate:
-            if not np.array_equal(dst, src):
-                raise ValidationError("host-stream round trip corrupted data")
-            validated = True
-        return RunResult(
-            target=self.target,
-            params=params,
-            times=tuple(times),
-            moved_bytes=2 * params.array_bytes,  # one write + one read
-            validated=validated,
-            detail={"mode": "host-stream"},
-        )
+        return self.engine.run_all_kernels(params)
 
 
-def optimal_loop_for(device: Device | str) -> "object":
+def optimal_loop_for(device: Device | str) -> LoopManagement:
     """The loop management each target prefers (the paper's Fig 3 winners)."""
-    from .params import LoopManagement
-
     short = device if isinstance(device, str) else device.short_name
     return {
         "cpu": LoopManagement.NDRANGE,

@@ -6,15 +6,25 @@ FPGA configuration that doesn't fit is a data point, not a crash).
 :class:`ParameterSweep` builds the grid; :func:`explore` runs it and
 returns a :class:`~repro.core.results.ResultSet`; :func:`best_configuration`
 is the simple automated-DSE entry point the paper motivates.
+
+``explore(..., jobs=N)`` fans the campaign out over a thread pool.
+Each worker thread drives its own
+:meth:`~repro.core.engine.ExecutionEngine.worker_clone` (private
+context/queue, shared content-addressed build cache and stats sink), so
+points race only on the cache — results are identical to the serial
+path and always returned in grid order, whatever order they finish in.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, Sequence
 
 from ..errors import SweepError
+from .engine import ExecutionEngine
 from .params import TuningParameters
 from .results import ResultSet, RunResult
 from .runner import BenchmarkRunner
@@ -66,25 +76,63 @@ class ParameterSweep:
 
 
 def explore(
-    runner: BenchmarkRunner,
+    runner: BenchmarkRunner | ExecutionEngine,
     sweep: ParameterSweep,
     *,
+    jobs: int = 1,
     progress: Callable[[RunResult], None] | None = None,
 ) -> ResultSet:
-    """Run every point of a sweep on a target."""
-    results = ResultSet()
-    for params in sweep.points():
-        result = runner.run(params)
-        results.add(result)
+    """Run every point of a sweep on a target.
+
+    ``jobs > 1`` runs points on a thread pool; results keep the grid's
+    deterministic row-major order and per-point failure tolerance, and
+    ``progress`` fires once per point in *completion* order (serialized
+    under a lock, so callbacks need no locking of their own).
+    """
+    if jobs < 1:
+        raise SweepError(f"jobs must be >= 1, got {jobs}")
+    engine = runner.engine if isinstance(runner, BenchmarkRunner) else runner
+    points = list(sweep.points())
+    if jobs == 1 or len(points) <= 1:
+        results = ResultSet()
+        for params in points:
+            result = engine.run(params)
+            results.add(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+    slots: list[RunResult | None] = [None] * len(points)
+    local = threading.local()
+    progress_lock = threading.Lock()
+
+    def run_point(index: int, params: TuningParameters) -> int:
+        worker = getattr(local, "engine", None)
+        if worker is None:
+            worker = engine.worker_clone()
+            local.engine = worker
+        result = worker.run(params)
+        slots[index] = result
         if progress is not None:
-            progress(result)
-    return results
+            with progress_lock:
+                progress(result)
+        return index
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(run_point, i, params) for i, params in enumerate(points)
+        ]
+        for future in as_completed(futures):
+            future.result()  # engine.run never raises; surface bugs loudly
+    return ResultSet(r for r in slots if r is not None)
 
 
 def best_configuration(
-    runner: BenchmarkRunner,
+    runner: BenchmarkRunner | ExecutionEngine,
     sweep: ParameterSweep,
+    *,
+    jobs: int = 1,
 ) -> tuple[RunResult | None, ResultSet]:
     """Automated DSE: run the sweep, return (winner, full results)."""
-    results = explore(runner, sweep)
+    results = explore(runner, sweep, jobs=jobs)
     return results.best(), results

@@ -16,8 +16,9 @@ quantities every target's bandwidth mechanism is written in terms of.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Optional
+from typing import Any, Hashable, Mapping, Optional
 
 import numpy as np
 
@@ -197,8 +198,8 @@ def _affine_inner_stride(ir: KernelIR, access: MemAccess) -> Optional[int]:
                 return coeff
             # access is invariant in deeper loops -> repeats each iteration
             inner_have_zero = all(
-                access.affine.stride_of(l.var) == 0
-                for l in ir.loops[ir.loops.index(loop) + 1 :]
+                access.affine.stride_of(inner.var) == 0
+                for inner in ir.loops[ir.loops.index(loop) + 1 :]
             )
             return 0 if inner_have_zero else coeff
     return access.affine.stride_of("gid0") if "gid0" in access.affine.coeffs else 0
@@ -231,6 +232,31 @@ class DeviceModel(abc.ABC):
 
     def __init__(self, spec: "object"):
         self.spec = spec
+        # Plan-cache hook: campaign caches (repro.ocl.program.BuildCache)
+        # store built ExecutionPlans here under content-addressed keys, so
+        # every campaign targeting this device shares one plan store.
+        self._plan_cache: dict[Hashable, object] = {}
+        self._plan_cache_lock = threading.Lock()
+
+    # -- plan cache hook -----------------------------------------------------------
+
+    def plan_cache_get(self, key: Hashable) -> object | None:
+        """Look up a cached build outcome (``("ok", plan)``/``("err", exc)``)."""
+        with self._plan_cache_lock:
+            return self._plan_cache.get(key)
+
+    def plan_cache_put(self, key: Hashable, entry: object) -> None:
+        """Store a build outcome under a content-addressed key."""
+        with self._plan_cache_lock:
+            self._plan_cache[key] = entry
+
+    def plan_cache_size(self) -> int:
+        with self._plan_cache_lock:
+            return len(self._plan_cache)
+
+    def clear_plan_cache(self) -> None:
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
 
     # -- build -------------------------------------------------------------------
 

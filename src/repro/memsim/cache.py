@@ -16,7 +16,7 @@ in the regime that matters: whether the working set of a pass fits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -98,7 +98,7 @@ class Hierarchy:
         served.append(int(current.size))
         return HierarchyStats(
             served=tuple(served),
-            names=tuple(l.name for l in self.levels) + ("memory",),
+            names=tuple(level.name for level in self.levels) + ("memory",),
             total=total,
         )
 

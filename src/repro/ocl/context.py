@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -58,6 +58,12 @@ class Context:
         for b in self._buffers:
             if not b.released:
                 b.release()
+
+    def prune_released(self) -> None:
+        """Forget released buffers so a long-lived context (one sweep
+        campaign reuses a single context across thousands of points)
+        does not accumulate dead allocations."""
+        self._buffers = [b for b in self._buffers if not b.released]
 
     def __enter__(self) -> "Context":
         return self

@@ -305,3 +305,18 @@ class CommandQueue:
     def finish(self) -> float:
         """Wait for everything (virtually); returns the completion time."""
         return self.now
+
+    def reset_profile(self) -> None:
+        """Restart the virtual clock and drop recorded events.
+
+        Warm state (the kernel-specialization cache) is kept. The
+        execution engine calls this between measurement points so a
+        long-lived queue produces timestamps — and therefore latencies —
+        bit-identical to a fresh queue's: subtracting nearby large
+        floats (late in a campaign's virtual time) would otherwise
+        drift in the last ulps.
+        """
+        self._engine_free = {e: 0.0 for e in _ENGINES}
+        self._last_event = None
+        self._enqueue_clock = 0.0
+        self.events.clear()

@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from ..ocl.types import Type
-
 __all__ = [
     "Node",
     "Expr",

@@ -168,7 +168,7 @@ class SpecializedKernel:
         )
         # Loop induction variables are bound by the domain, not by decls;
         # drop decls that shadow them.
-        loop_vars = {l.var for l in self.ir.loops}
+        loop_vars = {loop.var for loop in self.ir.loops}
         outer = [d for d in outer_decls if d.name not in loop_vars]
         return _Body(outer_decls=outer, inner=inner, epilogue=epilogue, reductions=[])
 

@@ -93,6 +93,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "best:" in out
 
+    def test_sweep_parallel_reports_cache_and_skips(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--target",
+                "cpu",
+                "--axis",
+                "array_bytes=32KiB,64KiB,128KiB",
+                "--ntimes",
+                "1",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the campaign summary: point/job/skip counts and cache counters
+        assert "3 point(s) on 2 job(s), 0 invalid point(s) skipped" in out
+        # NDRange sizes share one front-end pass; repeats are tagged
+        assert "front-end 2 hit/1 miss" in out
+        assert "[cached front-end]" in out
+        assert "stage wall time:" in out
+
+    def test_sweep_no_cache(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--target",
+                "cpu",
+                "--axis",
+                "array_bytes=32KiB,64KiB",
+                "--ntimes",
+                "1",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "front-end 0 hit/0 miss" in out
+        assert "[cached front-end]" not in out
+
     def test_source(self, capsys):
         code = main(["source", "--kernel", "triad", "--loop", "nested", "--vec", "4"])
         assert code == 0

@@ -13,7 +13,7 @@ from repro.core import (
     generate,
 )
 from repro.oclc import analyze, compile_source
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 
 def compiled(params):
@@ -73,7 +73,7 @@ class TestLoopVariants:
         )
         ir = analyze(program, gen.kernel_name)
         assert len(ir.loops) == 2
-        trips = [l.trip_count for l in ir.loops]
+        trips = [loop.trip_count for loop in ir.loops]
         assert trips[0] * trips[1] == 16384
 
     def test_vector_width_shrinks_trip_count(self):

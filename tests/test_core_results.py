@@ -170,7 +170,7 @@ class TestReporting:
         text = results_table(ResultSet([mk_result(), mk_result(target="gpu")]))
         lines = text.splitlines()
         assert len(lines) == 4  # header, separator, 2 rows
-        assert len(set(len(l) for l in lines[:2])) == 1
+        assert len(set(len(line) for line in lines[:2])) == 1
 
     def test_results_table_empty(self):
         assert results_table(ResultSet()) == "(no results)"

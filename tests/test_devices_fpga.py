@@ -13,8 +13,8 @@ from repro.devices.fpga import (
     synthesize,
 )
 from repro.devices.specs import STRATIX_V_AOCL, VIRTEX7_SDACCEL
-from repro.errors import BuildError, ResourceError
-from repro.oclc import LoopMode, analyze, compile_source
+from repro.errors import ResourceError
+from repro.oclc import analyze, compile_source
 from repro.units import GB, MIB
 
 FLAT_COPY = (

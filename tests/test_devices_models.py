@@ -8,7 +8,7 @@ from repro.devices import BuildOptions, Launch
 from repro.devices.cpu import CpuModel
 from repro.devices.gpu import GpuModel
 from repro.devices.specs import GTX_TITAN_BLACK, XEON_E5_2609V2
-from repro.oclc import analyze, compile_source
+from repro.oclc import compile_source
 from repro.units import GB, KIB, MIB
 
 NDRANGE_COPY = (

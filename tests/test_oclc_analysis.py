@@ -39,7 +39,7 @@ class TestLoopModes:
             "  c[i * 8 + j] = a[i * 8 + j]; }"
         )
         assert ir.loop_mode is LoopMode.NESTED
-        assert [l.trip_count for l in ir.loops] == [4, 8]
+        assert [loop.trip_count for loop in ir.loops] == [4, 8]
         assert ir.iterations_per_work_item() == 32
 
     def test_loop_with_step(self):

@@ -7,11 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.oclc import BufferArg, compile_source, parse, run_kernel, to_source
+from repro.oclc import BufferArg, parse, run_kernel, to_source
 from repro.oclc import cast
 from repro.oclc.fold import fold_expr, fold_unit
-from repro.oclc.parser import Parser
-from repro.oclc.lexer import tokenize
 
 
 def expr_of(text: str) -> cast.Expr:
