@@ -21,20 +21,25 @@ from .core import (
     AccessPattern,
     BenchmarkRunner,
     DataType,
+    FaultPlan,
     KernelName,
     LoopManagement,
     ParameterSweep,
     RunResult,
     StreamLocus,
+    SweepJournal,
     TuningParameters,
+    Watchdog,
     ascii_chart,
     explore,
+    failure_table,
     generate,
     results_table,
     series_table,
     stream_table,
 )
 from .errors import ReproError
+from .faults import FAULT_SITES
 from .ocl.platform import get_platforms
 from .units import format_bandwidth, format_size, parse_size
 
@@ -92,6 +97,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="PATH")
     sweep.add_argument(
         "--save", metavar="PATH", help="append results to a JSONL history file"
+    )
+    sweep.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="stream each completed point to a resumable JSONL journal",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already completed in --journal (restored, not re-run)",
+    )
+    sweep.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. 'build=0.3,launch=0.2,seed=7' "
+        f"(sites: {', '.join(FAULT_SITES)})",
+    )
+    sweep.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: cancel a point after this much wall time "
+        "(recorded as a 'timeout' failure)",
+    )
+    sweep.add_argument(
+        "--virtual-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: cancel a point whose modelled device time exceeds this",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max retries per point for transient failures (default: 2)",
     )
 
     fig = sub.add_parser("figure", help="reproduce a paper figure")
@@ -249,8 +292,21 @@ def _cmd_devices(_: argparse.Namespace) -> int:
 
 
 def _make_runner(args: argparse.Namespace, ntimes: int) -> BenchmarkRunner:
+    faults = None
+    if getattr(args, "inject_faults", None):
+        faults = FaultPlan.parse(args.inject_faults)
+    watchdog = None
+    wall = getattr(args, "point_timeout", None)
+    virtual = getattr(args, "virtual_timeout", None)
+    if wall is not None or virtual is not None:
+        watchdog = Watchdog(wall_s=wall, virtual_s=virtual)
     return BenchmarkRunner(
-        args.target, ntimes=ntimes, cache=not getattr(args, "no_cache", False)
+        args.target,
+        ntimes=ntimes,
+        cache=not getattr(args, "no_cache", False),
+        faults=faults,
+        watchdog=watchdog,
+        retries=getattr(args, "retries", 2),
     )
 
 
@@ -292,7 +348,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     axes = dict(_parse_axis(a) for a in args.axis)
     sweep = ParameterSweep(base=base, axes=axes)
     runner = _make_runner(args, args.ntimes)
-    results = explore(runner, sweep, jobs=args.jobs, progress=_sweep_progress)
+    journal = SweepJournal(args.journal) if args.journal else None
+    results = explore(
+        runner,
+        sweep,
+        jobs=args.jobs,
+        progress=_sweep_progress,
+        journal=journal,
+        resume=args.resume,
+    )
     print()
     print(results_table(results))
     best = results.best()
@@ -316,6 +380,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "stage wall time: "
         + ", ".join(f"{name} {stage_s[name]:.3f}s" for name in sorted(stage_s))
     )
+    if stats["retries"]:
+        print(f"transient retries: {stats['retries']}")
+    if results.failure_kinds():
+        print()
+        print(failure_table(results))
+    if journal is not None:
+        print(
+            f"journal: {journal.reused} restored, {journal.executed} executed"
+            + (f", {journal.discarded} discarded" if journal.discarded else "")
+            + f" -> {journal.path}"
+        )
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")

@@ -12,11 +12,19 @@ Public API sketch::
 
 from __future__ import annotations
 
+from ..faults import FaultPlan, FaultSpec
 from ..ocl.program import BuildCache
 from .autotune import AutotuneResult, autotune
-from .engine import STAGES, EngineStats, ExecutionEngine
+from .engine import STAGES, EngineStats, ExecutionEngine, Watchdog
 from .generator import GeneratedKernel, generate
-from .history import CompareEntry, compare_results, load_results, save_results
+from .history import (
+    CompareEntry,
+    SweepJournal,
+    compare_results,
+    load_results,
+    point_fingerprint,
+    save_results,
+)
 from .kernels import KERNELS, SCALAR_Q, KernelSpec, initial_arrays, reference
 from .params import (
     VECTOR_WIDTHS,
@@ -27,7 +35,14 @@ from .params import (
     StreamLocus,
     TuningParameters,
 )
-from .report import ascii_chart, markdown_table, results_table, series_table, stream_table
+from .report import (
+    ascii_chart,
+    failure_table,
+    markdown_table,
+    results_table,
+    series_table,
+    stream_table,
+)
 from .results import ResultSet, RunResult
 from .roofline import RooflinePoint, peak_compute_flops, roofline_point
 from .runner import BenchmarkRunner, optimal_loop_for
@@ -52,6 +67,9 @@ __all__ = [
     "BenchmarkRunner",
     "ExecutionEngine",
     "EngineStats",
+    "Watchdog",
+    "FaultPlan",
+    "FaultSpec",
     "BuildCache",
     "STAGES",
     "optimal_loop_for",
@@ -67,10 +85,13 @@ __all__ = [
     "load_results",
     "compare_results",
     "CompareEntry",
+    "SweepJournal",
+    "point_fingerprint",
     "roofline_point",
     "RooflinePoint",
     "peak_compute_flops",
     "stream_table",
+    "failure_table",
     "results_table",
     "series_table",
     "ascii_chart",

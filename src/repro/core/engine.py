@@ -34,21 +34,44 @@ Concurrency: one engine owns one context/queue and is *not* re-entrant,
 but :meth:`worker_clone` derives sibling engines that share the build
 cache and the stats sink — the parallel sweep executor gives each
 worker thread its own clone.
+
+Resilience: transient failures (marked with the
+:class:`~repro.errors.TransientError` mixin — injected by a
+:class:`~repro.faults.FaultPlan` or raised by a flaky backend) are
+retried with capped exponential backoff and deterministic jitter;
+permanent failures are classified into the
+:func:`~repro.errors.failure_kind` taxonomy on the result. A
+:class:`Watchdog` bounds each point's wall and/or virtual time so one
+runaway configuration cannot hang a campaign: the engine checks the
+budget cooperatively between stages and repetitions and cancels the
+point as a ``"timeout"`` failure.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import BenchmarkError, ReproError, ValidationError
+from ..errors import (
+    BenchmarkError,
+    PointTimeoutError,
+    ReproError,
+    TransientError,
+    ValidationError,
+    failure_kind,
+)
+from ..faults import FaultPlan, InjectedReadbackFault
 from ..ocl import Buffer, CommandQueue, Context, Program
 from ..ocl.platform import Device, find_device
 from ..ocl.program import BuildCache
+from ..rng import make_rng
 from .generator import GeneratedKernel, generate
+from .history import point_fingerprint
 from .kernels import KERNELS, SCALAR_Q, initial_arrays
 from .params import StreamLocus, TuningParameters
 from .results import RunResult
@@ -58,10 +81,59 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..devices.base import ExecutionPlan
     from ..oclc import CheckedProgram
 
-__all__ = ["ExecutionEngine", "EngineStats", "STAGES"]
+__all__ = ["ExecutionEngine", "EngineStats", "Watchdog", "STAGES"]
 
 #: pipeline stage names, in order
 STAGES = ("generate", "compile", "plan", "execute")
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Per-point execution budget.
+
+    ``wall_s`` bounds real elapsed seconds (catches stalls);
+    ``virtual_s`` bounds the modelled device time a point may
+    accumulate across its timed repetitions (deterministic, catches
+    configurations that are legal but absurdly slow). Either may be
+    ``None`` for unbounded. The budget applies to each attempt of a
+    point independently.
+    """
+
+    wall_s: float | None = None
+    virtual_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("wall_s", self.wall_s), ("virtual_s", self.virtual_s)):
+            if value is not None and value <= 0:
+                raise BenchmarkError(f"Watchdog.{name} must be > 0, got {value}")
+
+    @property
+    def active(self) -> bool:
+        return self.wall_s is not None or self.virtual_s is not None
+
+
+class _PointBudget:
+    """One attempt's countdown against a :class:`Watchdog`."""
+
+    def __init__(self, watchdog: Watchdog):
+        self.watchdog = watchdog
+        self._t0 = time.monotonic()
+        self._virtual = 0.0
+
+    def check_wall(self) -> None:
+        wall = self.watchdog.wall_s
+        if wall is not None and time.monotonic() - self._t0 > wall:
+            raise PointTimeoutError(f"point exceeded wall budget of {wall:g}s")
+
+    def charge_virtual(self, seconds: float) -> None:
+        self._virtual += seconds
+        virtual = self.watchdog.virtual_s
+        if virtual is not None and self._virtual > virtual:
+            raise PointTimeoutError(
+                f"point exceeded virtual budget of {virtual:g}s "
+                f"(modelled time {self._virtual:.6g}s)"
+            )
+        self.check_wall()
 
 
 class EngineStats:
@@ -76,6 +148,7 @@ class EngineStats:
         self.stage_s: dict[str, float] = {name: 0.0 for name in STAGES}
         self.points = 0
         self.failures = 0
+        self.retries = 0
 
     def record_point(self, stage_s: dict[str, float], ok: bool) -> None:
         with self._lock:
@@ -85,11 +158,16 @@ class EngineStats:
             for name, seconds in stage_s.items():
                 self.stage_s[name] = self.stage_s.get(name, 0.0) + seconds
 
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
     def snapshot(self) -> dict[str, object]:
         with self._lock:
             return {
                 "points": self.points,
                 "failures": self.failures,
+                "retries": self.retries,
                 "stage_s": dict(self.stage_s),
             }
 
@@ -128,11 +206,18 @@ class ExecutionEngine:
         validate: bool = True,
         cache: BuildCache | bool = True,
         stats: EngineStats | None = None,
+        faults: FaultPlan | None = None,
+        watchdog: Watchdog | None = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
     ):
         if isinstance(device, str):
             device = find_device(device)
         if ntimes < 1:
             raise BenchmarkError(f"ntimes must be >= 1, got {ntimes}")
+        if retries < 0:
+            raise BenchmarkError(f"retries must be >= 0, got {retries}")
         self.device = device
         self.ntimes = ntimes
         self.warmup = warmup
@@ -144,6 +229,11 @@ class ExecutionEngine:
         else:
             self.cache = cache
         self.stats = stats if stats is not None else EngineStats()
+        self.faults = faults
+        self.watchdog = watchdog
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
         self._ctx: Context | None = None
         self._queue: CommandQueue | None = None
 
@@ -161,30 +251,93 @@ class ExecutionEngine:
             validate=self.validate,
             cache=self.cache if self.cache is not None else False,
             stats=self.stats,
+            faults=self.faults,
+            watchdog=self.watchdog,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            backoff_cap_s=self.backoff_cap_s,
         )
 
     # -- public API -----------------------------------------------------------
 
-    def run(self, params: TuningParameters) -> RunResult:
+    def run(
+        self, params: TuningParameters, *, watchdog: Watchdog | None = None
+    ) -> RunResult:
         """Run one parameter point; never raises for per-point failures.
 
         Build failures (including FPGA resource overflows) and
         validation failures come back as a failed :class:`RunResult`
-        with the reason recorded, so sweeps can keep going — exactly
-        what a long DSE campaign needs.
+        with the reason and :attr:`~repro.core.results.RunResult.failure_kind`
+        recorded, so sweeps can keep going — exactly what a long DSE
+        campaign needs. Transient failures
+        (:class:`~repro.errors.TransientError`) are retried up to
+        ``retries`` times with capped exponential backoff; a ``watchdog``
+        budget (the argument overrides the engine-level one) cancels a
+        runaway attempt as a ``"timeout"`` failure. Attempt counts and
+        backoff land in ``detail["engine"]``.
         """
+        dog = watchdog if watchdog is not None else self.watchdog
+        key = point_fingerprint(self.target, params)
         clock = _StageClock()
-        try:
-            if params.locus is StreamLocus.HOST:
-                result = self._run_host_stream(params, clock)
-            else:
-                result = self._run_device_stream(params, clock)
-        except ValidationError as exc:
-            result = self._failure(params, f"validation: {exc}", clock)
-        except ReproError as exc:
-            result = self._failure(params, f"{type(exc).__name__}: {exc}", clock)
+        attempt = 0
+        backoff_total = 0.0
+        transient_log: list[str] = []
+        while True:
+            budget = _PointBudget(dog) if dog is not None and dog.active else None
+            try:
+                if params.locus is StreamLocus.HOST:
+                    result = self._run_host_stream(
+                        params, clock, key=key, attempt=attempt, budget=budget
+                    )
+                else:
+                    result = self._run_device_stream(
+                        params, clock, key=key, attempt=attempt, budget=budget
+                    )
+                break
+            except ReproError as exc:
+                if isinstance(exc, TransientError) and attempt < self.retries:
+                    transient_log.append(f"{type(exc).__name__}: {exc}")
+                    delay = self._backoff_delay(key, attempt)
+                    backoff_total += delay
+                    attempt += 1
+                    self.stats.record_retry()
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if isinstance(exc, ValidationError):
+                    message = f"validation: {exc}"
+                else:
+                    message = f"{type(exc).__name__}: {exc}"
+                result = self._failure(
+                    params, message, clock, kind=failure_kind(exc)
+                )
+                break
+        engine_detail = result.detail["engine"]
+        assert isinstance(engine_detail, dict)
+        engine_detail["attempts"] = attempt + 1
+        engine_detail["backoff_s"] = backoff_total
+        if transient_log:
+            engine_detail["transient_errors"] = transient_log
         self.stats.record_point(clock.stage_s, result.ok)
         return result
+
+    def _backoff_delay(self, point_key: str, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter, capped.
+
+        The jitter factor (0.5–1.5) is derived from the point key and
+        attempt number — reproducible, but still decorrelates workers
+        that hit the same flaky resource simultaneously.
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        base = min(self.backoff_cap_s, self.backoff_s * (2.0**attempt))
+        digest = hashlib.sha256(
+            f"backoff\x1f{attempt}\x1f{point_key}".encode()
+        ).digest()
+        jitter = 0.5 + float(
+            make_rng(int.from_bytes(digest[:8], "little")).random()
+        )
+        return min(self.backoff_cap_s, base * jitter)
 
     def run_all_kernels(self, params: TuningParameters) -> list[RunResult]:
         """Run COPY/SCALE/ADD/TRIAD at the same parameter point."""
@@ -254,17 +407,61 @@ class ExecutionEngine:
             plan, hit = self.cache.plan(gen.source, defines, self.device, build)
             return plan, "hit" if hit else "miss"
 
+    # -- fault/watchdog plumbing -------------------------------------------------
+
+    def _checkpoint(
+        self, site: str, key: str, attempt: int, budget: _PointBudget | None
+    ) -> None:
+        """A stage boundary: inject the site's fault, then check the budget."""
+        if self.faults is not None:
+            self.faults.check(site, key, attempt)
+        if budget is not None:
+            budget.check_wall()
+
+    def _fault_hook(self, key: str, attempt: int, fired: set[str]):
+        """The per-attempt hook installed on the queue's fault port."""
+        faults = self.faults
+        assert faults is not None
+
+        def hook(site: str, payload: object = None) -> None:
+            if site == "readback":
+                if isinstance(payload, np.ndarray) and faults.corrupt_readback(
+                    key, attempt, payload
+                ):
+                    fired.add("readback")
+                return
+            faults.check(site, key, attempt)
+
+        return hook
+
     # -- device-stream mode -------------------------------------------------------
 
     def _run_device_stream(
-        self, params: TuningParameters, clock: _StageClock
+        self,
+        params: TuningParameters,
+        clock: _StageClock,
+        *,
+        key: str,
+        attempt: int,
+        budget: _PointBudget | None,
     ) -> RunResult:
+        self._checkpoint("generate", key, attempt, budget)
         gen = self._stage_generate(params, clock)
+        self._checkpoint("compile", key, attempt, budget)
         checked, frontend_outcome = self._stage_compile(gen, clock)
+        # the build fault fires *before* the plan cache is consulted, so
+        # whether it strikes cannot depend on cache state (and therefore
+        # on execution order or resume position)
+        self._checkpoint("build", key, attempt, budget)
         plan, plan_outcome = self._stage_plan(gen, checked, clock)
+        if budget is not None:
+            budget.check_wall()
 
+        fired: set[str] = set()
         with clock.timed("execute"):
             ctx, queue = self._runtime()
+            if self.faults is not None:
+                queue.fault_hook = self._fault_hook(key, attempt, fired)
             program = Program.from_artifacts(
                 ctx,
                 gen.source,
@@ -278,6 +475,12 @@ class ExecutionEngine:
             buffers = self._make_buffers(ctx, initial)
             try:
                 self._bind(kernel, params, buffers)
+                if self.faults is not None:
+                    self.faults.stall(
+                        key,
+                        attempt,
+                        budget.check_wall if budget is not None else None,
+                    )
 
                 for _ in range(self.warmup):
                     queue.enqueue_nd_range_kernel(
@@ -291,6 +494,8 @@ class ExecutionEngine:
                     )
                     times.append(event.latency)
                     last_detail = dict(event.detail)
+                    if budget is not None:
+                        budget.charge_virtual(event.latency)
 
                 validated = False
                 if self.validate:
@@ -298,15 +503,27 @@ class ExecutionEngine:
                         name: buffers[name].view(initial[name].dtype).copy()
                         for name in ("a", "b", "c")
                     }
-                    validate_solution(
-                        params.kernel,
-                        params.dtype,
-                        initial,
-                        observed,
-                        touched_words=gen.touched_words,
-                    )
+                    if self.faults is not None and self.faults.corrupt_readback(
+                        key, attempt, observed
+                    ):
+                        fired.add("readback")
+                    try:
+                        validate_solution(
+                            params.kernel,
+                            params.dtype,
+                            initial,
+                            observed,
+                            touched_words=gen.touched_words,
+                        )
+                    except ValidationError as exc:
+                        if "readback" in fired:
+                            raise InjectedReadbackFault(
+                                f"injected readback corruption detected: {exc}"
+                            ) from exc
+                        raise
                     validated = True
             finally:
+                queue.fault_hook = None
                 self._release(ctx, buffers)
 
         last_detail["build_log"] = program.build_log(self.device)
@@ -350,31 +567,54 @@ class ExecutionEngine:
     # -- host-stream (PCIe) mode ------------------------------------------------------
 
     def _run_host_stream(
-        self, params: TuningParameters, clock: _StageClock
+        self,
+        params: TuningParameters,
+        clock: _StageClock,
+        *,
+        key: str,
+        attempt: int,
+        budget: _PointBudget | None,
     ) -> RunResult:
         """Measure host->device->host streaming over the interconnect."""
+        fired: set[str] = set()
         with clock.timed("execute"):
             ctx, queue = self._runtime()
+            if self.faults is not None:
+                queue.fault_hook = self._fault_hook(key, attempt, fired)
             initial = initial_arrays(params.word_count, params.dtype)
             src = initial["a"]
             dst = np.empty_like(src)
             buffer = ctx.create_buffer(size=params.array_bytes)
             try:
+                if self.faults is not None:
+                    self.faults.stall(
+                        key,
+                        attempt,
+                        budget.check_wall if budget is not None else None,
+                    )
                 times = []
                 for _ in range(self.warmup + self.ntimes):
                     w = queue.enqueue_write_buffer(buffer, src)
                     r = queue.enqueue_read_buffer(buffer, dst)
                     times.append((w.end - w.queued) + (r.end - r.queued))
+                    if budget is not None:
+                        budget.charge_virtual(times[-1])
                 times = times[self.warmup :]
 
                 validated = False
                 if self.validate:
                     if not np.array_equal(dst, src):
+                        if "readback" in fired:
+                            raise InjectedReadbackFault(
+                                "injected corruption on the host-stream "
+                                "round trip detected"
+                            )
                         raise ValidationError(
                             "host-stream round trip corrupted data"
                         )
                     validated = True
             finally:
+                queue.fault_hook = None
                 self._release(ctx, {"xfer": buffer})
         return RunResult(
             target=self.target,
@@ -422,7 +662,12 @@ class ExecutionEngine:
         }
 
     def _failure(
-        self, params: TuningParameters, error: str, clock: _StageClock
+        self,
+        params: TuningParameters,
+        error: str,
+        clock: _StageClock,
+        *,
+        kind: str = "",
     ) -> RunResult:
         detail: dict[str, object] = {
             "engine": self._instrumentation(clock, "n/a", "n/a")
@@ -434,5 +679,6 @@ class ExecutionEngine:
             moved_bytes=params.moved_bytes,
             validated=False,
             error=error,
+            failure_kind=kind,
             detail=detail,
         )

@@ -1,18 +1,31 @@
-"""Result persistence and run-to-run comparison.
+"""Result persistence, sweep journals and run-to-run comparison.
 
 DSE campaigns accumulate over days (a real FPGA compile is hours); this
 module stores :class:`~repro.core.results.ResultSet` runs as JSON-lines
 files and diffs two runs — the "did the new toolchain/model change the
 picture?" question the paper's planned results-sharing website was
 meant to answer.
+
+:class:`SweepJournal` is the crash-resilience side of the same format:
+:func:`~repro.core.sweep.explore` streams every completed point to the
+journal as it finishes, keyed by the point's parameter fingerprint, so
+a campaign killed mid-sweep resumes exactly where it died.  Journal
+records additionally carry the result ``detail`` and the measurement
+fingerprint, which lets the loader verify that a restored point is
+byte-identical to re-running it — a record that fails that check is
+treated as absent and the point simply re-runs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
+
+import numpy as np
 
 from ..errors import BenchmarkError
 from .params import (
@@ -25,7 +38,14 @@ from .params import (
 )
 from .results import ResultSet, RunResult
 
-__all__ = ["save_results", "load_results", "CompareEntry", "compare_results"]
+__all__ = [
+    "save_results",
+    "load_results",
+    "point_fingerprint",
+    "SweepJournal",
+    "CompareEntry",
+    "compare_results",
+]
 
 _SCHEMA = 1
 
@@ -70,22 +90,69 @@ def _params_from_json(data: dict) -> TuningParameters:
     )
 
 
+def _jsonify(value: object) -> object:
+    """Reduce a detail payload to pure-JSON types, recursively.
+
+    Numpy scalars become Python numbers, tuples become lists; anything
+    exotic falls back to ``repr``. Applied before a record is written
+    so a loaded result's ``detail`` compares equal (and fingerprints
+    identically) to the in-memory original.
+    """
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return repr(value)
+
+
+def _result_to_record(r: RunResult, *, detail: bool = False) -> dict:
+    record = {
+        "schema": _SCHEMA,
+        "target": r.target,
+        "params": _params_to_json(r.params),
+        "times_s": list(r.times),
+        "moved_bytes": r.moved_bytes,
+        "validated": r.validated,
+        "error": r.error,
+        "failure_kind": r.failure_kind,
+    }
+    if detail:
+        record["detail"] = _jsonify(r.detail)
+    return record
+
+
+def _result_from_record(record: dict) -> RunResult:
+    return RunResult(
+        target=record["target"],
+        params=_params_from_json(record["params"]),
+        times=tuple(record["times_s"]),
+        moved_bytes=int(record["moved_bytes"]),
+        validated=bool(record["validated"]),
+        error=record.get("error", ""),
+        failure_kind=record.get("failure_kind", ""),
+        detail=record.get("detail", {}) or {},
+    )
+
+
 def save_results(results: Iterable[RunResult], path: str | Path) -> int:
-    """Append results to a JSON-lines file; returns the count written."""
+    """Append results to a JSON-lines file; returns the count written.
+
+    Missing parent directories are created.
+    """
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
     with path.open("a") as fh:
         for r in results:
-            record = {
-                "schema": _SCHEMA,
-                "target": r.target,
-                "params": _params_to_json(r.params),
-                "times_s": list(r.times),
-                "moved_bytes": r.moved_bytes,
-                "validated": r.validated,
-                "error": r.error,
-            }
-            fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(_result_to_record(r)) + "\n")
             count += 1
     return count
 
@@ -106,17 +173,95 @@ def load_results(path: str | Path) -> ResultSet:
             raise BenchmarkError(
                 f"{path}:{lineno}: unsupported schema {record.get('schema')!r}"
             )
-        out.add(
-            RunResult(
-                target=record["target"],
-                params=_params_from_json(record["params"]),
-                times=tuple(record["times_s"]),
-                moved_bytes=int(record["moved_bytes"]),
-                validated=bool(record["validated"]),
-                error=record.get("error", ""),
-            )
-        )
+        out.add(_result_from_record(record))
     return out
+
+
+# --------------------------------------------------------------------------
+# Sweep journals (resumable campaigns)
+# --------------------------------------------------------------------------
+
+
+def point_fingerprint(target: str, params: TuningParameters) -> str:
+    """Deterministic identity of one grid point on one target.
+
+    A short hash of the canonical parameter serialization — the journal
+    key :func:`~repro.core.sweep.explore` uses to skip already-completed
+    points on resume, and the key fault injection derives its per-point
+    decisions from.
+    """
+    payload = json.dumps(
+        {"target": target, "params": _params_to_json(params)}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep points.
+
+    Each record is the :func:`save_results` schema plus the point key,
+    the full (JSON-reduced) ``detail`` and the measurement fingerprint.
+    Appends are flushed per point under a lock, so a journal written by
+    a parallel sweep that is killed mid-campaign loses at most the
+    in-flight points; a truncated trailing line is tolerated on load.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: points restored from the journal instead of re-executed
+        self.reused = 0
+        #: points actually executed (and appended) this campaign
+        self.executed = 0
+        #: journal records dropped on load (corrupt line / stale fingerprint)
+        self.discarded = 0
+
+    def load(self) -> dict[str, RunResult]:
+        """Completed points by key; silently drops unusable records.
+
+        A record whose stored measurement fingerprint no longer matches
+        the reconstructed result is *discarded* (counted in
+        :attr:`discarded`) rather than trusted — the point re-runs, so
+        a damaged journal degrades to extra work, never to wrong data.
+        """
+        done: dict[str, RunResult] = {}
+        if not self.path.exists():
+            return done
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("schema") != _SCHEMA:
+                    raise ValueError(f"schema {record.get('schema')!r}")
+                key = record["point"]
+                result = _result_from_record(record)
+            except (ValueError, KeyError, TypeError):
+                self.discarded += 1
+                continue
+            if record.get("fingerprint") != result.fingerprint():
+                self.discarded += 1
+                continue
+            done[key] = result
+        return done
+
+    def record(self, key: str, result: RunResult) -> None:
+        """Append one completed point (thread-safe, flushed)."""
+        record = _result_to_record(result, detail=True)
+        record["point"] = key
+        record["fingerprint"] = result.fingerprint()
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            with self.path.open("a") as fh:
+                fh.write(line)
+                fh.flush()
+            self.executed += 1
+
+    def note_reused(self, count: int = 1) -> None:
+        with self._lock:
+            self.reused += count
 
 
 @dataclass(frozen=True)

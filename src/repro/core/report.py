@@ -17,6 +17,7 @@ from .results import ResultSet, RunResult
 __all__ = [
     "stream_table",
     "results_table",
+    "failure_table",
     "series_table",
     "ascii_chart",
     "markdown_table",
@@ -66,6 +67,32 @@ def results_table(results: ResultSet, columns: Sequence[str] | None = None) -> s
     sep = "  ".join("-" * w for w in widths)
     body = "\n".join("  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows)
     return "\n".join([header, sep, body])
+
+
+def failure_table(results: ResultSet, *, examples: int = 1) -> str:
+    """Failure-taxonomy summary: per-kind counts plus example errors.
+
+    An FPGA configuration that fails to build is a data point, not a
+    crash — this is the campaign's view of those data points. Returns
+    ``"(no failures)"`` when every point succeeded.
+    """
+    kinds = results.failure_kinds()
+    if not kinds:
+        return "(no failures)"
+    failed = list(results.failed())
+    lines = [f"{'failure kind':<14}{'points':>7}  example"]
+    lines.append("-" * 60)
+    for kind, count in kinds.items():
+        sample = [
+            r.error
+            for r in failed
+            if (r.failure_kind or "unclassified") == kind
+        ][:examples]
+        first = sample[0].splitlines()[0] if sample else ""
+        if len(first) > 60:
+            first = first[:57] + "..."
+        lines.append(f"{kind:<14}{count:>7}  {first}")
+    return "\n".join(lines)
 
 
 def _fmt_cell(value: object) -> str:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator, Optional
 
 from ..units import bandwidth_gbs, format_bandwidth, format_size
@@ -24,6 +25,10 @@ class RunResult:
     validated: bool
     #: failure notes: "" on success, else why the point produced no timing
     error: str = ""
+    #: taxonomy bucket for a failed point ("" on success): one of
+    #: :func:`repro.errors.failure_kind`'s classes — "timeout",
+    #: "validation", "build", "launch", "compile", "runtime", ...
+    failure_kind: str = ""
     detail: dict[str, object] = field(default_factory=dict)
 
     @property
@@ -68,6 +73,7 @@ class RunResult:
             "min_time_s": self.min_time if self.ok and self.times else None,
             "validated": self.validated,
             "error": self.error,
+            "failure_kind": self.failure_kind,
         }
 
     def fingerprint(self) -> str:
@@ -120,6 +126,23 @@ class ResultSet:
     def ok(self) -> "ResultSet":
         return ResultSet(r for r in self._results if r.ok)
 
+    def failed(self) -> "ResultSet":
+        return ResultSet(r for r in self._results if not r.ok)
+
+    def failure_kinds(self) -> dict[str, int]:
+        """Failure-taxonomy histogram: ``{"build": 2, "timeout": 1}``.
+
+        Failed results recorded before the taxonomy existed (or by
+        code that bypassed the engine) count under ``"unclassified"``.
+        """
+        counts: dict[str, int] = {}
+        for r in self._results:
+            if r.ok:
+                continue
+            kind = r.failure_kind or "unclassified"
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     def filter(self, **criteria: object) -> "ResultSet":
         """Filter by flat row fields, e.g. ``filter(target="aocl", kernel="copy")``."""
         out = []
@@ -144,18 +167,20 @@ class ResultSet:
             if r.ok
         ]
 
-    def to_csv(self, path: str) -> None:
+    def to_csv(self, path: str | Path) -> None:
         import csv
 
         if not self._results:
             raise ValueError("no results to write")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         rows = [r.row() for r in self._results]
-        with open(path, "w", newline="") as fh:
+        with path.open("w", newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
             writer.writeheader()
             writer.writerows(rows)
 
-    def to_json(self, path: str | None = None) -> str:
+    def to_json(self, path: str | Path | None = None) -> str:
         payload = []
         for r in self._results:
             row = r.row()
@@ -163,6 +188,7 @@ class ResultSet:
             payload.append(row)
         text = json.dumps(payload, indent=2)
         if path is not None:
-            with open(path, "w") as fh:
-                fh.write(text)
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
         return text

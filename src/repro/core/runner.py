@@ -26,9 +26,10 @@ in :mod:`repro.core.engine`; :class:`BenchmarkRunner` wraps one
 
 from __future__ import annotations
 
+from ..faults import FaultPlan
 from ..ocl.platform import Device
 from ..ocl.program import BuildCache
-from .engine import ExecutionEngine
+from .engine import ExecutionEngine, Watchdog
 from .params import LoopManagement, TuningParameters
 from .results import RunResult
 
@@ -41,6 +42,9 @@ class BenchmarkRunner:
     A thin façade over :class:`~repro.core.engine.ExecutionEngine`;
     ``cache=False`` disables artifact caching (every point pays the
     full front-end + device build, the pre-engine behaviour).
+    ``faults``, ``watchdog`` and ``retries`` configure the engine's
+    resilience layer (fault injection, per-point budgets, transient
+    retry).
     """
 
     def __init__(
@@ -51,9 +55,19 @@ class BenchmarkRunner:
         warmup: int = 1,
         validate: bool = True,
         cache: BuildCache | bool = True,
+        faults: FaultPlan | None = None,
+        watchdog: Watchdog | None = None,
+        retries: int = 2,
     ):
         self.engine = ExecutionEngine(
-            device, ntimes=ntimes, warmup=warmup, validate=validate, cache=cache
+            device,
+            ntimes=ntimes,
+            warmup=warmup,
+            validate=validate,
+            cache=cache,
+            faults=faults,
+            watchdog=watchdog,
+            retries=retries,
         )
         self.device = self.engine.device
         self.ntimes = ntimes

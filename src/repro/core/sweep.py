@@ -13,6 +13,17 @@ Each worker thread drives its own
 context/queue, shared content-addressed build cache and stats sink), so
 points race only on the cache — results are identical to the serial
 path and always returned in grid order, whatever order they finish in.
+
+Resilience: pass ``journal=`` to stream every completed point to a
+:class:`~repro.core.history.SweepJournal` as it finishes, and
+``resume=True`` to skip points the journal already holds (matched by
+parameter fingerprint) — a campaign killed mid-sweep restarts where it
+died and produces byte-identical results. A
+:class:`~repro.core.engine.Watchdog` bounds each point so one runaway
+configuration degrades to a ``"timeout"`` data point instead of
+hanging the pool. A worker *crash* (an engine bug — per-point failures
+never raise) cancels the remaining queue and surfaces as a
+:class:`~repro.errors.SweepError` naming the grid point.
 """
 
 from __future__ import annotations
@@ -21,10 +32,12 @@ import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
 from ..errors import SweepError
-from .engine import ExecutionEngine
+from .engine import ExecutionEngine, Watchdog
+from .history import SweepJournal, point_fingerprint
 from .params import TuningParameters
 from .results import ResultSet, RunResult
 from .runner import BenchmarkRunner
@@ -81,49 +94,94 @@ def explore(
     *,
     jobs: int = 1,
     progress: Callable[[RunResult], None] | None = None,
+    watchdog: Watchdog | None = None,
+    journal: SweepJournal | str | Path | None = None,
+    resume: bool = False,
 ) -> ResultSet:
     """Run every point of a sweep on a target.
 
     ``jobs > 1`` runs points on a thread pool; results keep the grid's
     deterministic row-major order and per-point failure tolerance, and
-    ``progress`` fires once per point in *completion* order (serialized
-    under a lock, so callbacks need no locking of their own).
+    ``progress`` fires once per *executed* point in completion order
+    (serialized under a lock, so callbacks need no locking of their
+    own).
+
+    ``watchdog`` bounds each point's wall/virtual time (recorded as a
+    ``"timeout"`` failure on breach). ``journal`` streams every
+    completed point — failures included, they are data — to a JSONL
+    :class:`~repro.core.history.SweepJournal`; with ``resume=True``,
+    points whose parameter fingerprint the journal already holds are
+    restored instead of re-executed (and counted in
+    ``journal.reused``), so an interrupted campaign picks up where it
+    died with byte-identical results.
+
+    A worker that *raises* (an engine bug — per-point failures are
+    returned, not raised) cancels the not-yet-started points and
+    re-raises as :class:`~repro.errors.SweepError` naming the grid
+    point, instead of leaving orphaned workers running.
     """
     if jobs < 1:
         raise SweepError(f"jobs must be >= 1, got {jobs}")
+    if resume and journal is None:
+        raise SweepError("resume=True requires a journal")
     engine = runner.engine if isinstance(runner, BenchmarkRunner) else runner
-    points = list(sweep.points())
-    if jobs == 1 or len(points) <= 1:
-        results = ResultSet()
-        for params in points:
-            result = engine.run(params)
-            results.add(result)
-            if progress is not None:
-                progress(result)
-        return results
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    completed = journal.load() if (resume and journal is not None) else {}
 
+    points = list(sweep.points())
+    keys = [point_fingerprint(engine.target, p) for p in points]
     slots: list[RunResult | None] = [None] * len(points)
-    local = threading.local()
+    todo: list[tuple[int, TuningParameters]] = []
+    for i, (params, key) in enumerate(zip(points, keys)):
+        prior = completed.get(key)
+        if prior is not None:
+            slots[i] = prior
+            journal.note_reused()  # type: ignore[union-attr]
+        else:
+            todo.append((i, params))
+
     progress_lock = threading.Lock()
 
-    def run_point(index: int, params: TuningParameters) -> int:
+    def finish_point(index: int, result: RunResult) -> None:
+        slots[index] = result
+        if journal is not None:
+            journal.record(keys[index], result)
+        if progress is not None:
+            with progress_lock:
+                progress(result)
+
+    if jobs == 1 or len(todo) <= 1:
+        for index, params in todo:
+            finish_point(index, engine.run(params, watchdog=watchdog))
+        return ResultSet(r for r in slots if r is not None)
+
+    local = threading.local()
+
+    def run_point(index: int, params: TuningParameters) -> None:
         worker = getattr(local, "engine", None)
         if worker is None:
             worker = engine.worker_clone()
             local.engine = worker
-        result = worker.run(params)
-        slots[index] = result
-        if progress is not None:
-            with progress_lock:
-                progress(result)
-        return index
+        finish_point(index, worker.run(params, watchdog=watchdog))
 
     with ThreadPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(run_point, i, params) for i, params in enumerate(points)
-        ]
+        futures = {
+            pool.submit(run_point, i, params): (i, params)
+            for i, params in todo
+        }
         for future in as_completed(futures):
-            future.result()  # engine.run never raises; surface bugs loudly
+            try:
+                future.result()  # engine.run never raises; surface bugs loudly
+            except Exception as exc:
+                # an engine bug, not a per-point failure: stop handing
+                # out work, drop the queued points, and name the culprit
+                pool.shutdown(wait=False, cancel_futures=True)
+                index, params = futures[future]
+                raise SweepError(
+                    f"sweep worker crashed at grid point {index} "
+                    f"({params.describe()}): {type(exc).__name__}: {exc}"
+                ) from exc
     return ResultSet(r for r in slots if r is not None)
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "TransientError",
     "UnitParseError",
     "OclError",
     "InvalidValueError",
@@ -27,11 +28,25 @@ __all__ = [
     "BenchmarkError",
     "ValidationError",
     "SweepError",
+    "PointTimeoutError",
+    "failure_kind",
 ]
 
 
 class ReproError(Exception):
     """Base class of all errors raised by :mod:`repro`."""
+
+
+class TransientError:
+    """Mixin marking a failure as *transient* — worth retrying.
+
+    Real DSE campaigns on AOCL/SDAccel-class toolchains hit flaky
+    builds, dropped launches and corrupted readbacks that succeed on
+    the next attempt. Mix this into a concrete :class:`ReproError`
+    subclass (see :mod:`repro.faults`) and the execution engine will
+    retry the point with exponential backoff instead of recording a
+    permanent failure; caches never store a transient build error.
+    """
 
 
 class UnitParseError(ReproError, ValueError):
@@ -160,3 +175,51 @@ class ValidationError(BenchmarkError):
 
 class SweepError(BenchmarkError):
     """A design-space sweep was mis-specified."""
+
+
+class PointTimeoutError(BenchmarkError):
+    """A benchmark point exceeded its watchdog budget and was cancelled.
+
+    Raised cooperatively by the execution engine when a point's wall or
+    virtual (modelled) time runs past the configured
+    :class:`~repro.core.engine.Watchdog` budget; recorded as a
+    ``"timeout"`` failure so the campaign keeps going.
+    """
+
+
+# --------------------------------------------------------------------------
+# Failure taxonomy
+# --------------------------------------------------------------------------
+
+#: classification buckets, most specific first (order matters)
+_FAILURE_KINDS: "tuple[tuple[type, str], ...]" = ()
+
+
+def failure_kind(exc: BaseException | None) -> str:
+    """Classify an exception into the campaign failure taxonomy.
+
+    Returns one of ``"timeout"``, ``"validation"``, ``"build"``,
+    ``"launch"``, ``"compile"``, ``"runtime"``, ``"harness"`` or
+    ``"internal"`` — the value recorded on
+    :attr:`~repro.core.results.RunResult.failure_kind` and aggregated
+    by :meth:`~repro.core.results.ResultSet.failure_kinds`.
+    """
+    if exc is None:
+        return ""
+    for cls, kind in _FAILURE_KINDS:
+        if isinstance(exc, cls):
+            return kind
+    return "internal"
+
+
+_FAILURE_KINDS = (
+    (PointTimeoutError, "timeout"),
+    (ValidationError, "validation"),
+    (BuildError, "build"),
+    (ResourceError, "build"),  # a design that does not fit fails the build
+    (DeviceModelError, "build"),
+    (LaunchError, "launch"),
+    (OclcError, "compile"),
+    (OclError, "runtime"),
+    (BenchmarkError, "harness"),
+)

@@ -19,7 +19,13 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from ..errors import BuildError, InvalidValueError, OclcError, ReproError
+from ..errors import (
+    BuildError,
+    InvalidValueError,
+    OclcError,
+    ReproError,
+    TransientError,
+)
 from .context import Context
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,7 +101,11 @@ class BuildCache:
 
         Returns ``(plan, hit)``; a cached failure re-raises the original
         exception (and counts as a hit — the expensive estimation was
-        skipped).
+        skipped). *Transient* failures
+        (:class:`~repro.errors.TransientError` — a toolchain flake, not
+        a design that does not fit) are never cached: the retry that
+        follows must get a fresh build, and a later campaign must not
+        replay a one-off failure as if it were permanent.
         """
         from ..oclc import frontend_key
 
@@ -111,7 +121,8 @@ class BuildCache:
         try:
             plan = build()
         except ReproError as exc:
-            device.model.plan_cache_put(key, ("err", exc))
+            if not isinstance(exc, TransientError):
+                device.model.plan_cache_put(key, ("err", exc))
             raise
         device.model.plan_cache_put(key, ("ok", plan))
         return plan, False

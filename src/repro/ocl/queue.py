@@ -24,7 +24,7 @@ execution order (and without them, real OpenCL would race too).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -65,6 +65,12 @@ class CommandQueue:
         #: host-side enqueue clock (monotone, nearly free per command)
         self._enqueue_clock: float = 0.0
         self._specialized_cache: dict[tuple[int, str], object] = {}
+        #: fault-injection port (see :mod:`repro.faults`): when set, the
+        #: queue calls it with a site name — ``"launch"`` before a kernel
+        #: launch (the hook may raise to model a flaky driver) and
+        #: ``"readback"`` with the destination array after a read (the
+        #: hook may corrupt it). ``None`` disables injection entirely.
+        self.fault_hook: Callable[..., None] | None = None
 
     @property
     def now(self) -> float:
@@ -155,6 +161,8 @@ class CommandQueue:
                 f"destination of {dst_flat.nbytes} bytes exceeds buffer ({buffer.size})"
             )
         dst_flat[:] = buffer.view(dst_flat.dtype)[: dst_flat.size]
+        if self.fault_hook is not None:
+            self.fault_hook("readback", dst_flat)
         seconds = self.device.model.transfer_time(dst_flat.nbytes, "d2h")
         return self._schedule(
             CommandType.READ_BUFFER,
@@ -206,6 +214,8 @@ class CommandQueue:
         from ..devices.base import Launch
         from ..oclc.interp import BufferArg
 
+        if self.fault_hook is not None:
+            self.fault_hook("launch")
         if isinstance(global_size, int):
             global_size = (global_size,)
         global_size = tuple(int(g) for g in global_size)

@@ -251,3 +251,47 @@ class TestExtendedCommands:
         text = out_csv.read_text()
         assert text.splitlines()[0] == "x,cpu"
         assert "25.0" in text
+
+
+class TestResilienceFlags:
+    SWEEP = ["sweep", "--target", "cpu", "--size", "64KiB",
+             "--axis", "vector_width=1,2", "--ntimes", "1"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.journal is None
+        assert args.resume is False
+        assert args.inject_faults is None
+        assert args.retries == 2
+
+    def test_bad_fault_spec_exits_cleanly(self, capsys):
+        code = main(self.SWEEP + ["--inject-faults", "bitflip=0.5"])
+        assert code == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_inject_faults_reports_taxonomy(self, capsys):
+        code = main(self.SWEEP + ["--inject-faults", "launch=1.0", "--retries", "0"])
+        assert code == 0  # per-point failures are data, not crashes
+        out = capsys.readouterr().out
+        assert "failure kind" in out
+        assert "launch" in out
+
+    def test_point_timeout_flag(self, capsys):
+        code = main(self.SWEEP + ["--inject-faults", "stall=1.0,stall_s=30",
+                                  "--retries", "0", "--point-timeout", "0.2"])
+        assert code == 0
+        assert "timeout" in capsys.readouterr().out
+
+    def test_journal_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        assert main(self.SWEEP + ["--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert "0 restored, 2 executed" in first
+        assert main(self.SWEEP + ["--journal", str(journal), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "2 restored, 0 executed" in second
+
+    def test_resume_without_journal_rejected(self, capsys):
+        code = main(self.SWEEP + ["--resume"])
+        assert code == 2
+        assert "journal" in capsys.readouterr().err

@@ -9,6 +9,7 @@ from repro.core import (
     KernelName,
     ResultSet,
     TuningParameters,
+    Watchdog,
     compare_results,
     load_results,
     peak_compute_flops,
@@ -75,6 +76,35 @@ class TestHistory:
         loaded = load_results(path)
         assert not loaded[0].ok
         assert "fit" in loaded[0].error
+
+    def test_failed_result_error_text_and_kind_preserved_exactly(self, tmp_path):
+        from repro.core import LoopManagement
+
+        failed = BenchmarkRunner("sdaccel", ntimes=1).run(
+            TuningParameters(
+                array_bytes=64 * KIB,
+                kernel=KernelName.ADD,
+                vector_width=16,
+                loop=LoopManagement.NESTED,
+            )
+        )
+        assert failed.failure_kind  # the engine classified it
+        timed_out = BenchmarkRunner(
+            "cpu", ntimes=1, watchdog=Watchdog(virtual_s=1e-12)
+        ).run(TuningParameters(array_bytes=64 * KIB))
+        assert timed_out.failure_kind == "timeout"
+        path = tmp_path / "runs.jsonl"
+        save_results([failed, timed_out], path)
+        loaded = load_results(path)
+        for original, restored in zip([failed, timed_out], loaded):
+            assert restored.error == original.error
+            assert restored.failure_kind == original.failure_kind
+            assert restored.validated is False
+
+    def test_save_results_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "runs.jsonl"
+        assert save_results([small_run()], path) == 1
+        assert len(load_results(path)) == 1
 
 
 class TestCompare:

@@ -121,6 +121,34 @@ class TestResultSet:
         with pytest.raises(ValueError):
             ResultSet().to_csv(str(tmp_path / "x.csv"))
 
+    def test_to_csv_accepts_path_and_makes_parents(self, tmp_path):
+        path = tmp_path / "new" / "dirs" / "out.csv"
+        self._set().to_csv(path)  # Path object, parents absent
+        with open(path) as fh:
+            assert len(list(csv.DictReader(fh))) == 4
+
+    def test_to_json_makes_parents(self, tmp_path):
+        path = tmp_path / "deep" / "out.json"
+        self._set().to_json(path)
+        assert len(json.loads(path.read_text())) == 4
+
+    def test_failure_kind_in_row_and_histogram(self):
+        kinds = self._set().failure_kinds()
+        assert kinds == {"unclassified": 1}  # mk_failure sets no kind
+        tagged = RunResult(
+            target="cpu",
+            params=TuningParameters(array_bytes=2 * KIB),
+            times=(),
+            moved_bytes=0,
+            validated=False,
+            error="PointTimeoutError: too slow",
+            failure_kind="timeout",
+        )
+        rs = ResultSet([tagged, mk_failure()])
+        assert rs[0].row()["failure_kind"] == "timeout"
+        assert rs.failure_kinds() == {"timeout": 1, "unclassified": 1}
+        assert len(rs.failed()) == 2
+
 
 class TestSweep:
     def test_cartesian_points(self):
