@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Render a stage-time breakdown from a ``--trace`` file.
+
+The Chrome trace JSON that ``mp-stream sweep --trace trace.json``
+writes is built for https://ui.perfetto.dev, but it is also plain
+data: complete spans (``ph: "X"``) named after the work they timed —
+``sweep``, ``point``, the engine stages (``generate`` / ``compile`` /
+``plan`` / ``execute``) and the queue commands under them. This
+example aggregates those spans into the terminal answer to "where did
+the campaign's wall time go?", no browser required:
+
+* per-stage totals — count, total/mean/max wall milliseconds, and the
+  share of summed point time;
+* the slowest points, with their per-stage split and cache outcomes
+  (span args record front-end/plan hits and misses).
+
+Run:  python examples/trace_stage_breakdown.py [trace.json]
+
+Without an argument it traces a small CPU sweep in-memory first — via
+``repro.obs.session`` — and then analyses its own trace.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+from repro import obs
+from repro.core import BenchmarkRunner, ParameterSweep, TuningParameters, explore
+from repro.units import KIB
+
+#: engine stages, in pipeline order (queue spans nest under execute)
+STAGES = ("generate", "compile", "plan", "execute")
+
+
+def load_spans(trace: dict) -> list[dict]:
+    """The complete spans (``ph: "X"``) of a Chrome trace-event doc."""
+    return [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+
+
+def stage_breakdown(spans: list[dict]) -> str:
+    """Aggregate per-stage span durations into an aligned table."""
+    durs: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        if span["name"] in STAGES:
+            durs[span["name"]].append(span["dur"] / 1e3)  # us -> ms
+    total_all = sum(sum(v) for v in durs.values())
+    lines = [
+        f"{'stage':<10}{'spans':>7}{'total ms':>12}{'mean ms':>10}"
+        f"{'max ms':>10}{'share':>8}",
+        "-" * 57,
+    ]
+    for stage in STAGES:
+        values = durs.get(stage, [])
+        total = sum(values)
+        share = total / total_all if total_all else 0.0
+        lines.append(
+            f"{stage:<10}{len(values):>7}{total:>12.3f}"
+            f"{(total / len(values) if values else 0.0):>10.3f}"
+            f"{(max(values) if values else 0.0):>10.3f}{share:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def slowest_points(spans: list[dict], limit: int = 3) -> str:
+    """The ``limit`` longest points with their per-stage split."""
+    points = sorted(
+        (s for s in spans if s["name"] == "point"),
+        key=lambda s: s["dur"],
+        reverse=True,
+    )[:limit]
+    stage_spans = [s for s in spans if s["name"] in STAGES]
+    lines = []
+    for point in points:
+        args = point.get("args", {})
+        label = args.get("params", args.get("point", "?"))
+        inside = [
+            s
+            for s in stage_spans
+            if s["tid"] == point["tid"]
+            and point["ts"] <= s["ts"]
+            and s["ts"] + s["dur"] <= point["ts"] + point["dur"] + 1e-6
+        ]
+        split = "  ".join(
+            f"{s['name']} {s['dur'] / 1e3:.2f}ms"
+            + (f" [{s['args']['cache']}]" if "cache" in s.get("args", {}) else "")
+            for s in sorted(inside, key=lambda s: s["ts"])
+        )
+        lines.append(f"{point['dur'] / 1e3:9.3f}ms  {label}\n           {split}")
+    return "\n".join(lines) or "(no point spans in trace)"
+
+
+def demo_trace() -> dict:
+    """Trace a small CPU sweep in-memory and return the Chrome doc."""
+    runner = BenchmarkRunner("cpu", ntimes=2)
+    sweep = ParameterSweep(
+        base=TuningParameters(array_bytes=64 * KIB),
+        axes={"vector_width": [1, 2, 4, 8]},
+    )
+    with obs.session(trace=True) as session:
+        explore(runner, sweep)
+    return session.tracer.to_chrome()
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+        print(f"reading {path}")
+        trace = json.loads(path.read_text())
+    else:
+        print("no trace file given; tracing a small cpu sweep in-memory")
+        trace = demo_trace()
+    spans = load_spans(trace)
+    print(f"\n{len(spans)} spans\n")
+    print(stage_breakdown(spans))
+    print("\nslowest points")
+    print("-" * 57)
+    print(slowest_points(spans))
+
+
+if __name__ == "__main__":
+    main()

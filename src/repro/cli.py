@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from . import figures
+from . import figures, obs
 from .core import (
     AccessPattern,
     BenchmarkRunner,
@@ -25,7 +25,6 @@ from .core import (
     KernelName,
     LoopManagement,
     ParameterSweep,
-    RunResult,
     StreamLocus,
     SweepJournal,
     TuningParameters,
@@ -34,6 +33,7 @@ from .core import (
     explore,
     failure_table,
     generate,
+    metrics_table,
     results_table,
     series_table,
     stream_table,
@@ -70,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run the benchmark at one parameter point")
     _add_point_args(run)
+    _add_obs_args(run)
     run.add_argument("--all-kernels", action="store_true", help="run all four kernels")
     run.add_argument("--ntimes", type=int, default=5)
     run.add_argument("--csv", metavar="PATH", help="append results to a CSV file")
@@ -79,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="cartesian design-space sweep")
     _add_point_args(sweep)
+    _add_obs_args(sweep)
     sweep.add_argument(
         "--axis",
         action="append",
@@ -153,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         "autotune", help="coordinate-descent DSE instead of a full grid"
     )
     _add_point_args(tune)
+    _add_obs_args(tune)
     tune.add_argument(
         "--axis",
         action="append",
@@ -225,6 +228,65 @@ def _add_point_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="measure host<->device (PCIe) streams instead of global memory",
     )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of nested sweep/point/stage/"
+        "queue spans (open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a metrics-registry snapshot JSON (cache hits, stage "
+        "seconds, retries, memsim byte counters) and print the table",
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="append structured JSONL events (per-point records carry the "
+        "journal's point fingerprint)",
+    )
+    level = parser.add_mutually_exclusive_group()
+    level.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more per-point output (stage wall times, attempt counts)",
+    )
+    level.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress per-point output; summaries only",
+    )
+
+
+def _verbosity(args: argparse.Namespace) -> int:
+    if getattr(args, "quiet", False):
+        return 0
+    return 1 + getattr(args, "verbose", 0)
+
+
+def _obs_session(args: argparse.Namespace):
+    """The observability sinks this invocation asked for, as a context."""
+    return obs.session(
+        trace=getattr(args, "trace", None),
+        metrics=getattr(args, "metrics", None),
+        log_json=getattr(args, "log_json", None),
+    )
+
+
+def _report_obs(session: obs.ObsSession) -> None:
+    """Print the metrics table and the artifact paths a session wrote."""
+    if session.registry is not None:
+        print()
+        print(metrics_table(session.registry.snapshot()))
+    for label, path in session.written:
+        print(f"wrote {label} -> {path}")
 
 
 def _params_from(args: argparse.Namespace) -> TuningParameters:
@@ -313,14 +375,16 @@ def _make_runner(args: argparse.Namespace, ntimes: int) -> BenchmarkRunner:
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _params_from(args)
     runner = _make_runner(args, args.ntimes)
-    if args.all_kernels:
-        results = runner.run_all_kernels(params)
-        print(stream_table(results))
-        failed = any(not r.ok for r in results)
-    else:
-        result = runner.run(params)
-        print(result.summary())
-        failed = not result.ok
+    with _obs_session(args) as session:
+        if args.all_kernels:
+            results = runner.run_all_kernels(params)
+            print(stream_table(results))
+            failed = any(not r.ok for r in results)
+        else:
+            result = runner.run(params)
+            print(result.summary())
+            failed = not result.ok
+    _report_obs(session)
     if args.csv:
         from .core import ResultSet
 
@@ -335,28 +399,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def _sweep_progress(result: RunResult) -> None:
-    engine_info = result.detail.get("engine", {})
-    tag = ""
-    if isinstance(engine_info, dict) and engine_info.get("frontend_cache") == "hit":
-        tag = "  [cached front-end]"
-    print(result.summary() + tag)
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
     base = _params_from(args)
     axes = dict(_parse_axis(a) for a in args.axis)
     sweep = ParameterSweep(base=base, axes=axes)
     runner = _make_runner(args, args.ntimes)
     journal = SweepJournal(args.journal) if args.journal else None
-    results = explore(
-        runner,
-        sweep,
-        jobs=args.jobs,
-        progress=_sweep_progress,
-        journal=journal,
-        resume=args.resume,
-    )
+    with _obs_session(args) as session:
+        reporter = obs.SweepProgress(total=len(sweep), verbosity=_verbosity(args))
+        results = explore(
+            runner,
+            sweep,
+            jobs=args.jobs,
+            progress=reporter,
+            journal=journal,
+            resume=args.resume,
+        )
+        campaign_status = reporter.finish()
     print()
     print(results_table(results))
     best = results.best()
@@ -380,6 +439,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "stage wall time: "
         + ", ".join(f"{name} {stage_s[name]:.3f}s" for name in sorted(stage_s))
     )
+    print(f"campaign: {campaign_status}")
     if stats["retries"]:
         print(f"transient retries: {stats['retries']}")
     if results.failure_kinds():
@@ -391,6 +451,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             + (f", {journal.discarded} discarded" if journal.discarded else "")
             + f" -> {journal.path}"
         )
+    _report_obs(session)
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -470,7 +531,9 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             "unroll": [1, 2, 4],
         }
     runner = _make_runner(args, args.ntimes)
-    out = autotune(runner, axes, seed=seed, budget=args.budget)
+    with _obs_session(args) as session:
+        out = autotune(runner, axes, seed=seed, budget=args.budget)
+    _report_obs(session)
     print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
     for desc, bw in out.trajectory:
         print(f"  -> {desc}: {bw:.3f} GB/s")

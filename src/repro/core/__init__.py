@@ -39,6 +39,7 @@ from .report import (
     ascii_chart,
     failure_table,
     markdown_table,
+    metrics_table,
     results_table,
     series_table,
     stream_table,
@@ -92,6 +93,7 @@ __all__ = [
     "peak_compute_flops",
     "stream_table",
     "failure_table",
+    "metrics_table",
     "results_table",
     "series_table",
     "ascii_chart",

@@ -45,6 +45,15 @@ permanent failures are classified into the
 runaway configuration cannot hang a campaign: the engine checks the
 budget cooperatively between stages and repetitions and cancels the
 point as a ``"timeout"`` failure.
+
+Observability: every completed point, stage boundary and retry also
+reports into the process-wide :mod:`repro.obs` sinks when they are
+active — nested wall-clock trace spans (sweep → point → stage → queue
+command), metrics counters (``engine.points``, ``engine.stage_s.*``,
+``engine.retries``) and structured JSONL events keyed by the point
+fingerprint. Instrumentation is strictly observational:
+:meth:`~repro.core.results.RunResult.fingerprint` is byte-identical
+with the sinks on or off (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -66,6 +75,9 @@ from ..errors import (
     failure_kind,
 )
 from ..faults import FaultPlan, InjectedReadbackFault
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..ocl import Buffer, CommandQueue, Context, Program
 from ..ocl.platform import Device, find_device
 from ..ocl.program import BuildCache
@@ -157,10 +169,17 @@ class EngineStats:
                 self.failures += 1
             for name, seconds in stage_s.items():
                 self.stage_s[name] = self.stage_s.get(name, 0.0) + seconds
+        obs_metrics.count("engine.points")
+        if not ok:
+            obs_metrics.count("engine.failures")
+        for name, seconds in stage_s.items():
+            obs_metrics.count(f"engine.stage_s.{name}", seconds)
+            obs_metrics.observe(f"engine.stage_s_per_point.{name}", seconds)
 
     def record_retry(self) -> None:
         with self._lock:
             self.retries += 1
+        obs_metrics.count("engine.retries")
 
     def snapshot(self) -> dict[str, object]:
         with self._lock:
@@ -282,36 +301,51 @@ class ExecutionEngine:
         attempt = 0
         backoff_total = 0.0
         transient_log: list[str] = []
-        while True:
-            budget = _PointBudget(dog) if dog is not None and dog.active else None
-            try:
-                if params.locus is StreamLocus.HOST:
-                    result = self._run_host_stream(
-                        params, clock, key=key, attempt=attempt, budget=budget
+        obs_events.emit(
+            "point_started", point=key, target=self.target, params=params.describe()
+        )
+        with obs_trace.span(
+            "point", "sweep", point=key, target=self.target, params=params.describe()
+        ) as point_span:
+            while True:
+                budget = _PointBudget(dog) if dog is not None and dog.active else None
+                try:
+                    if params.locus is StreamLocus.HOST:
+                        result = self._run_host_stream(
+                            params, clock, key=key, attempt=attempt, budget=budget
+                        )
+                    else:
+                        result = self._run_device_stream(
+                            params, clock, key=key, attempt=attempt, budget=budget
+                        )
+                    break
+                except ReproError as exc:
+                    if isinstance(exc, TransientError) and attempt < self.retries:
+                        transient_log.append(f"{type(exc).__name__}: {exc}")
+                        delay = self._backoff_delay(key, attempt)
+                        backoff_total += delay
+                        attempt += 1
+                        self.stats.record_retry()
+                        obs_events.emit(
+                            "point_retry",
+                            point=key,
+                            target=self.target,
+                            attempt=attempt,
+                            backoff_s=delay,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    if isinstance(exc, ValidationError):
+                        message = f"validation: {exc}"
+                    else:
+                        message = f"{type(exc).__name__}: {exc}"
+                    result = self._failure(
+                        params, message, clock, kind=failure_kind(exc)
                     )
-                else:
-                    result = self._run_device_stream(
-                        params, clock, key=key, attempt=attempt, budget=budget
-                    )
-                break
-            except ReproError as exc:
-                if isinstance(exc, TransientError) and attempt < self.retries:
-                    transient_log.append(f"{type(exc).__name__}: {exc}")
-                    delay = self._backoff_delay(key, attempt)
-                    backoff_total += delay
-                    attempt += 1
-                    self.stats.record_retry()
-                    if delay > 0:
-                        time.sleep(delay)
-                    continue
-                if isinstance(exc, ValidationError):
-                    message = f"validation: {exc}"
-                else:
-                    message = f"{type(exc).__name__}: {exc}"
-                result = self._failure(
-                    params, message, clock, kind=failure_kind(exc)
-                )
-                break
+                    break
+            point_span.set(ok=result.ok, attempts=attempt + 1)
         engine_detail = result.detail["engine"]
         assert isinstance(engine_detail, dict)
         engine_detail["attempts"] = attempt + 1
@@ -319,6 +353,16 @@ class ExecutionEngine:
         if transient_log:
             engine_detail["transient_errors"] = transient_log
         self.stats.record_point(clock.stage_s, result.ok)
+        obs_metrics.count("engine.backoff_s", backoff_total)
+        obs_events.emit(
+            "point_finished",
+            point=key,
+            target=self.target,
+            ok=result.ok,
+            failure_kind=result.failure_kind,
+            attempts=attempt + 1,
+            bandwidth_gbs=result.bandwidth_gbs,
+        )
         return result
 
     def _backoff_delay(self, point_key: str, attempt: int) -> float:
@@ -363,7 +407,7 @@ class ExecutionEngine:
     def _stage_generate(
         self, params: TuningParameters, clock: _StageClock
     ) -> GeneratedKernel:
-        with clock.timed("generate"):
+        with obs_trace.span("generate", "engine"), clock.timed("generate"):
             return generate(params)
 
     def _stage_compile(
@@ -371,12 +415,13 @@ class ExecutionEngine:
     ) -> tuple["CheckedProgram", str]:
         from ..oclc import compile_source
 
-        with clock.timed("compile"):
+        with obs_trace.span("compile", "engine") as span, clock.timed("compile"):
             if self.cache is None:
                 return compile_source(
                     gen.source, {k: str(v) for k, v in gen.defines.items()}
                 ), "off"
             checked, hit = self.cache.frontend(gen.source, gen.defines)
+            span.set(cache="hit" if hit else "miss")
             return checked, "hit" if hit else "miss"
 
     def _stage_plan(
@@ -401,10 +446,11 @@ class ExecutionEngine:
                     log=str(exc),
                 ) from exc
 
-        with clock.timed("plan"):
+        with obs_trace.span("plan", "engine") as span, clock.timed("plan"):
             if self.cache is None:
                 return build(), "off"
             plan, hit = self.cache.plan(gen.source, defines, self.device, build)
+            span.set(cache="hit" if hit else "miss")
             return plan, "hit" if hit else "miss"
 
     # -- fault/watchdog plumbing -------------------------------------------------
@@ -458,7 +504,7 @@ class ExecutionEngine:
             budget.check_wall()
 
         fired: set[str] = set()
-        with clock.timed("execute"):
+        with obs_trace.span("execute", "engine"), clock.timed("execute"):
             ctx, queue = self._runtime()
             if self.faults is not None:
                 queue.fault_hook = self._fault_hook(key, attempt, fired)
@@ -577,7 +623,7 @@ class ExecutionEngine:
     ) -> RunResult:
         """Measure host->device->host streaming over the interconnect."""
         fired: set[str] = set()
-        with clock.timed("execute"):
+        with obs_trace.span("execute", "engine"), clock.timed("execute"):
             ctx, queue = self._runtime()
             if self.faults is not None:
                 queue.fault_hook = self._fault_hook(key, attempt, fired)

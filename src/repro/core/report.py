@@ -19,6 +19,7 @@ __all__ = [
     "results_table",
     "failure_table",
     "series_table",
+    "metrics_table",
     "ascii_chart",
     "markdown_table",
 ]
@@ -92,6 +93,52 @@ def failure_table(results: ResultSet, *, examples: int = 1) -> str:
         if len(first) > 60:
             first = first[:57] + "..."
         lines.append(f"{kind:<14}{count:>7}  {first}")
+    return "\n".join(lines)
+
+
+def metrics_table(snapshot: Mapping[str, object]) -> str:
+    """Aligned name/value table of a metrics-registry snapshot.
+
+    Accepts the mapping produced by
+    :meth:`repro.obs.MetricsRegistry.snapshot` (or loaded back from a
+    ``--metrics`` JSON file): counters and gauges render as one value,
+    histograms as their count/mean/min/max summary. Names sort within
+    each kind, so related metrics (``engine.*``, ``memsim.dram.*``)
+    read as blocks.
+    """
+    rows: list[tuple[str, str]] = []
+
+    def _value(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.6g}"
+        return str(v)
+
+    counters = snapshot.get("counters")
+    if isinstance(counters, Mapping):
+        for name in sorted(counters):
+            rows.append((name, _value(counters[name])))
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, Mapping):
+        for name in sorted(gauges):
+            rows.append((name, _value(gauges[name])))
+    histograms = snapshot.get("histograms")
+    if isinstance(histograms, Mapping):
+        for name in sorted(histograms):
+            h = histograms[name]
+            if isinstance(h, Mapping):
+                rows.append(
+                    (
+                        name,
+                        f"n={h.get('count', 0)} mean={_value(h.get('mean', 0.0))} "
+                        f"min={_value(h.get('min', 0.0))} "
+                        f"max={_value(h.get('max', 0.0))}",
+                    )
+                )
+    if not rows:
+        return "(no metrics)"
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{'metric':<{width}}  value", "-" * (width + 2 + 5)]
+    lines.extend(f"{name:<{width}}  {value}" for name, value in rows)
     return "\n".join(lines)
 
 

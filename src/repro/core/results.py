@@ -76,18 +76,26 @@ class RunResult:
             "failure_kind": self.failure_kind,
         }
 
+    #: ``detail`` keys describing how a result was *obtained* rather
+    #: than what was measured; excluded from :meth:`fingerprint`
+    _PROVENANCE_KEYS = frozenset({"engine", "obs"})
+
     def fingerprint(self) -> str:
         """Deterministic identity of the *measurement*.
 
         Everything the benchmark measured — times, bytes, validation,
         error text, model detail — serialized canonically, with the
-        ``detail["engine"]`` instrumentation excluded: cache outcomes
-        and stage wall-times describe how a result was *obtained*
-        (cold vs cached, serial vs parallel), not what was measured.
-        Two runs of the same point must produce equal fingerprints
-        regardless of cache state or executor schedule.
+        provenance keys (``detail["engine"]``, ``detail["obs"]``)
+        excluded: cache outcomes, stage wall-times and observability
+        annotations describe how a result was *obtained* (cold vs
+        cached, serial vs parallel, traced vs untraced), not what was
+        measured. Two runs of the same point must produce equal
+        fingerprints regardless of cache state, executor schedule, or
+        whether :mod:`repro.obs` instrumentation was active.
         """
-        detail = {k: v for k, v in self.detail.items() if k != "engine"}
+        detail = {
+            k: v for k, v in self.detail.items() if k not in self._PROVENANCE_KEYS
+        }
         payload = {
             "row": self.row(),
             "times_s": list(self.times),

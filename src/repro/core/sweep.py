@@ -24,6 +24,13 @@ configuration degrades to a ``"timeout"`` data point instead of
 hanging the pool. A worker *crash* (an engine bug — per-point failures
 never raise) cancels the remaining queue and surfaces as a
 :class:`~repro.errors.SweepError` naming the grid point.
+
+Observability: when :mod:`repro.obs` sinks are active, the campaign is
+wrapped in a ``sweep`` trace span and emits ``sweep_started``,
+``point_restored`` and ``sweep_finished`` structured events;
+:class:`~repro.obs.SweepProgress` is a ready-made ``progress=``
+callback reporting rate, ETA, failures and cache hits live — under
+``jobs=N`` too, since progress callbacks are already serialized.
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
 from ..errors import SweepError
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from .engine import ExecutionEngine, Watchdog
 from .history import SweepJournal, point_fingerprint
 from .params import TuningParameters
@@ -138,6 +147,7 @@ def explore(
         if prior is not None:
             slots[i] = prior
             journal.note_reused()  # type: ignore[union-attr]
+            obs_events.emit("point_restored", point=key, target=engine.target)
         else:
             todo.append((i, params))
 
@@ -151,38 +161,57 @@ def explore(
             with progress_lock:
                 progress(result)
 
-    if jobs == 1 or len(todo) <= 1:
-        for index, params in todo:
-            finish_point(index, engine.run(params, watchdog=watchdog))
-        return ResultSet(r for r in slots if r is not None)
+    obs_events.emit(
+        "sweep_started",
+        target=engine.target,
+        points=len(points),
+        restored=len(points) - len(todo),
+        skipped=len(sweep.skipped),
+        jobs=jobs,
+    )
+    with obs_trace.span(
+        "sweep", "sweep", target=engine.target, points=len(points), jobs=jobs
+    ):
+        if jobs == 1 or len(todo) <= 1:
+            for index, params in todo:
+                finish_point(index, engine.run(params, watchdog=watchdog))
+        else:
+            local = threading.local()
 
-    local = threading.local()
+            def run_point(index: int, params: TuningParameters) -> None:
+                worker = getattr(local, "engine", None)
+                if worker is None:
+                    worker = engine.worker_clone()
+                    local.engine = worker
+                finish_point(index, worker.run(params, watchdog=watchdog))
 
-    def run_point(index: int, params: TuningParameters) -> None:
-        worker = getattr(local, "engine", None)
-        if worker is None:
-            worker = engine.worker_clone()
-            local.engine = worker
-        finish_point(index, worker.run(params, watchdog=watchdog))
-
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(run_point, i, params): (i, params)
-            for i, params in todo
-        }
-        for future in as_completed(futures):
-            try:
-                future.result()  # engine.run never raises; surface bugs loudly
-            except Exception as exc:
-                # an engine bug, not a per-point failure: stop handing
-                # out work, drop the queued points, and name the culprit
-                pool.shutdown(wait=False, cancel_futures=True)
-                index, params = futures[future]
-                raise SweepError(
-                    f"sweep worker crashed at grid point {index} "
-                    f"({params.describe()}): {type(exc).__name__}: {exc}"
-                ) from exc
-    return ResultSet(r for r in slots if r is not None)
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(run_point, i, params): (i, params)
+                    for i, params in todo
+                }
+                for future in as_completed(futures):
+                    try:
+                        # engine.run never raises; surface bugs loudly
+                        future.result()
+                    except Exception as exc:
+                        # an engine bug, not a per-point failure: stop
+                        # handing out work, drop the queued points, and
+                        # name the culprit
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        index, params = futures[future]
+                        raise SweepError(
+                            f"sweep worker crashed at grid point {index} "
+                            f"({params.describe()}): {type(exc).__name__}: {exc}"
+                        ) from exc
+    results = ResultSet(r for r in slots if r is not None)
+    obs_events.emit(
+        "sweep_finished",
+        target=engine.target,
+        points=len(results),
+        failures=len(results.failed()),
+    )
+    return results
 
 
 def best_configuration(

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvalidValueError
+from ..obs import metrics as obs_metrics
 
 __all__ = ["CacheConfig", "CacheStats", "Cache", "streaming_hit_ratio"]
 
@@ -123,6 +124,11 @@ class Cache:
                     local.evictions += 1
             lru.append(t)
         self.stats = self.stats.merge(local)
+        if obs_metrics.active_registry() is not None:
+            obs_metrics.count("memsim.cache.accesses", local.accesses)
+            obs_metrics.count("memsim.cache.hits", local.hits)
+            obs_metrics.count("memsim.cache.misses", local.misses)
+            obs_metrics.count("memsim.cache.evictions", local.evictions)
         return local
 
     def contains(self, address: int) -> bool:
@@ -163,6 +169,7 @@ def streaming_hit_ratio(
         raise InvalidValueError(f"passes must be >= 1, got {passes}")
     if element_bytes <= 0 or stride_bytes == 0:
         raise InvalidValueError("element size and stride must be non-zero")
+    obs_metrics.count("memsim.cache.analytic_queries")
     stride = abs(stride_bytes)
     line = config.line_bytes
     elements_per_pass = max(1, footprint_bytes // element_bytes)

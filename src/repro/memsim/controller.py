@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import InvalidValueError
+from ..obs import metrics as obs_metrics
 from .dram import DramSpec, row_locality_efficiency
 
 __all__ = ["StreamDemand", "ControllerResult", "MemoryController"]
@@ -106,6 +107,13 @@ class MemoryController:
             weighted_time += (s.bytes_total / tx_bytes) * per_tx
             weighted_hits += hit * s.bytes_total
         efficiency = (total_bytes / spec.peak_bandwidth) / weighted_time
+        if obs_metrics.active_registry() is not None:
+            obs_metrics.count("memsim.dram.requests")
+            obs_metrics.count("memsim.dram.demand_bytes", total_bytes)
+            obs_metrics.observe("memsim.dram.efficiency", efficiency)
+            obs_metrics.observe(
+                "memsim.dram.row_hit_ratio", weighted_hits / total_bytes
+            )
         return ControllerResult(
             seconds=weighted_time,
             bytes_total=total_bytes,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InvalidValueError
+from ..obs import metrics as obs_metrics
 
 __all__ = ["DramSpec", "DramTiming", "simulate_dram", "row_locality_efficiency"]
 
@@ -134,6 +135,12 @@ def simulate_dram(
     ) / overlap
 
     seconds = max(data_seconds, command_seconds)
+    if obs_metrics.active_registry() is not None:
+        obs_metrics.count("memsim.dram.transactions", int(addrs.size))
+        obs_metrics.count("memsim.dram.bytes", total_bytes)
+        obs_metrics.count("memsim.dram.row_hits", row_hits)
+        obs_metrics.count("memsim.dram.row_misses", row_misses)
+        obs_metrics.count("memsim.dram.seconds", seconds)
     return DramTiming(
         seconds=seconds,
         data_seconds=data_seconds,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import InvalidValueError
+from ..obs import metrics as obs_metrics
 
 __all__ = ["PcieLink"]
 
@@ -56,6 +57,9 @@ class PcieLink:
         """Seconds to move ``nbytes`` one way."""
         if nbytes < 0:
             raise InvalidValueError(f"negative transfer size {nbytes}")
+        if obs_metrics.active_registry() is not None:
+            obs_metrics.count("memsim.pcie.transfers")
+            obs_metrics.count("memsim.pcie.bytes", nbytes)
         if nbytes == 0:
             return self.latency
         return self.latency + nbytes / self.peak_bandwidth

@@ -1,0 +1,106 @@
+"""Structured JSONL event logging.
+
+Where the tracer answers "where did the time go" and the metrics
+registry answers "how much of everything happened", the event log is
+the campaign's *narrative*: one JSON object per line, appended and
+flushed as it happens, so a killed run's log is still readable up to
+the final flushed line (the same durability contract as
+:class:`~repro.core.history.SweepJournal`).
+
+Per-point events carry the point's parameter fingerprint
+(:func:`~repro.core.history.point_fingerprint`) in a ``point`` field —
+the same key the journal uses — so ``--log-json`` output joins against
+``--journal`` records directly.
+
+As with the other sinks, instrumented code calls the module-level
+:func:`emit`, which no-ops when no log is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["EventLog", "active_log", "set_log", "use_log", "emit"]
+
+
+class EventLog:
+    """Append-only JSONL event stream, flushed per event (thread-safe)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = self.path.open("a")
+        #: events written through this log instance
+        self.emitted = 0
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event line: ``{"ts": ..., "event": ..., **fields}``.
+
+        ``ts`` is host wall-clock epoch seconds — events are for log
+        joining and post-mortems, not measurement; nothing here touches
+        the virtual device clock.
+        """
+        record: dict[str, object] = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"event log {self.path} is closed")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.emitted += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# the active event log (None = logging disabled)
+# --------------------------------------------------------------------------
+
+_ACTIVE: EventLog | None = None
+
+
+def active_log() -> EventLog | None:
+    """The currently installed event log, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def set_log(log: EventLog | None) -> EventLog | None:
+    """Install ``log`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = log
+    return previous
+
+
+@contextmanager
+def use_log(log: EventLog | None) -> Iterator[EventLog | None]:
+    """Scope ``log`` as the active sink for the ``with`` block."""
+    previous = set_log(log)
+    try:
+        yield log
+    finally:
+        set_log(previous)
+
+
+def emit(event: str, **fields: object) -> None:
+    """Emit an event to the active log (no-op when none is installed)."""
+    log = _ACTIVE
+    if log is not None:
+        log.emit(event, **fields)

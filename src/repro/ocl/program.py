@@ -26,6 +26,7 @@ from ..errors import (
     ReproError,
     TransientError,
 )
+from ..obs import metrics as obs_metrics
 from .context import Context
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,8 +82,10 @@ class BuildCache:
             cached = self._checked.get(key)
             if cached is not None:
                 self._counters["frontend_hits"] += 1
-                return cached, True
-            self._counters["frontend_misses"] += 1
+        if cached is not None:
+            obs_metrics.count("build_cache.frontend_hits")
+            return cached, True
+        self._bump("frontend_misses")
         checked = compile_source_cached(
             source, {k: str(v) for k, v in (defines or {}).items()}
         )
@@ -132,6 +135,7 @@ class BuildCache:
     def _bump(self, counter: str) -> None:
         with self._lock:
             self._counters[counter] += 1
+        obs_metrics.count(f"build_cache.{counter}")
 
     def stats(self) -> dict[str, int]:
         """Hit/miss counters plus the number of distinct front-end keys."""

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from ..errors import InvalidValueError, LaunchError, UnsupportedKernelError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .buffer import Buffer
 from .events import CommandType, Event
 
@@ -64,6 +66,8 @@ class CommandQueue:
         self._last_event: Event | None = None
         #: host-side enqueue clock (monotone, nearly free per command)
         self._enqueue_clock: float = 0.0
+        #: per-point command/byte counters; reset by :meth:`reset_profile`
+        self.counters: dict[str, float] = self._fresh_counters()
         self._specialized_cache: dict[tuple[int, str], object] = {}
         #: fault-injection port (see :mod:`repro.faults`): when set, the
         #: queue calls it with a site name — ``"launch"`` before a kernel
@@ -76,6 +80,40 @@ class CommandQueue:
     def now(self) -> float:
         """Virtual time when all submitted work completes."""
         return max(self._engine_free.values())
+
+    @staticmethod
+    def _fresh_counters() -> dict[str, float]:
+        return {
+            "commands": 0,
+            "kernel_launches": 0,
+            "h2d_bytes": 0,
+            "d2h_bytes": 0,
+            "copy_bytes": 0,
+            "virtual_busy_s": 0.0,
+        }
+
+    def _count_command(
+        self, command: CommandType, duration: float, detail: dict
+    ) -> None:
+        counters = self.counters
+        counters["commands"] += 1
+        counters["virtual_busy_s"] += duration
+        obs_metrics.count("queue.commands")
+        if command is CommandType.ND_RANGE_KERNEL:
+            counters["kernel_launches"] += 1
+            obs_metrics.count("queue.kernel_launches")
+        elif command is CommandType.WRITE_BUFFER:
+            nbytes = int(detail.get("bytes", 0))
+            counters["h2d_bytes"] += nbytes
+            obs_metrics.count("queue.h2d_bytes", nbytes)
+        elif command is CommandType.READ_BUFFER:
+            nbytes = int(detail.get("bytes", 0))
+            counters["d2h_bytes"] += nbytes
+            obs_metrics.count("queue.d2h_bytes", nbytes)
+        elif command is CommandType.COPY_BUFFER:
+            nbytes = int(detail.get("bytes", 0))
+            counters["copy_bytes"] += nbytes
+            obs_metrics.count("queue.copy_bytes", nbytes)
 
     # -- scheduling core ---------------------------------------------------------
 
@@ -117,6 +155,7 @@ class CommandQueue:
         self._engine_free[engine] = end
         self._last_event = event
         self.events.append(event)
+        self._count_command(command, duration, detail)
         return event
 
     # -- transfers -----------------------------------------------------------------
@@ -129,22 +168,24 @@ class CommandQueue:
         wait_for: Sequence[Event] | None = None,
     ) -> Event:
         """Host -> device transfer over the simulated interconnect."""
-        buffer._check_alive()
-        src_flat = np.ascontiguousarray(src).reshape(-1)
-        if src_flat.nbytes > buffer.size:
-            raise InvalidValueError(
-                f"source of {src_flat.nbytes} bytes exceeds buffer ({buffer.size})"
+        with obs_trace.span("write_buffer", "queue") as span:
+            buffer._check_alive()
+            src_flat = np.ascontiguousarray(src).reshape(-1)
+            if src_flat.nbytes > buffer.size:
+                raise InvalidValueError(
+                    f"source of {src_flat.nbytes} bytes exceeds buffer ({buffer.size})"
+                )
+            buffer.view(src_flat.dtype)[: src_flat.size] = src_flat
+            buffer.residency = "device"
+            seconds = self.device.model.transfer_time(src_flat.nbytes, "h2d")
+            span.set(bytes=src_flat.nbytes, virtual_s=seconds)
+            return self._schedule(
+                CommandType.WRITE_BUFFER,
+                "h2d",
+                seconds,
+                {"bytes": src_flat.nbytes, "dir": "h2d"},
+                wait_for,
             )
-        buffer.view(src_flat.dtype)[: src_flat.size] = src_flat
-        buffer.residency = "device"
-        seconds = self.device.model.transfer_time(src_flat.nbytes, "h2d")
-        return self._schedule(
-            CommandType.WRITE_BUFFER,
-            "h2d",
-            seconds,
-            {"bytes": src_flat.nbytes, "dir": "h2d"},
-            wait_for,
-        )
 
     def enqueue_read_buffer(
         self,
@@ -154,23 +195,25 @@ class CommandQueue:
         wait_for: Sequence[Event] | None = None,
     ) -> Event:
         """Device -> host transfer over the simulated interconnect."""
-        buffer._check_alive()
-        dst_flat = dst.reshape(-1)
-        if dst_flat.nbytes > buffer.size:
-            raise InvalidValueError(
-                f"destination of {dst_flat.nbytes} bytes exceeds buffer ({buffer.size})"
+        with obs_trace.span("read_buffer", "queue") as span:
+            buffer._check_alive()
+            dst_flat = dst.reshape(-1)
+            if dst_flat.nbytes > buffer.size:
+                raise InvalidValueError(
+                    f"destination of {dst_flat.nbytes} bytes exceeds buffer ({buffer.size})"
+                )
+            dst_flat[:] = buffer.view(dst_flat.dtype)[: dst_flat.size]
+            if self.fault_hook is not None:
+                self.fault_hook("readback", dst_flat)
+            seconds = self.device.model.transfer_time(dst_flat.nbytes, "d2h")
+            span.set(bytes=dst_flat.nbytes, virtual_s=seconds)
+            return self._schedule(
+                CommandType.READ_BUFFER,
+                "d2h",
+                seconds,
+                {"bytes": dst_flat.nbytes, "dir": "d2h"},
+                wait_for,
             )
-        dst_flat[:] = buffer.view(dst_flat.dtype)[: dst_flat.size]
-        if self.fault_hook is not None:
-            self.fault_hook("readback", dst_flat)
-        seconds = self.device.model.transfer_time(dst_flat.nbytes, "d2h")
-        return self._schedule(
-            CommandType.READ_BUFFER,
-            "d2h",
-            seconds,
-            {"bytes": dst_flat.nbytes, "dir": "d2h"},
-            wait_for,
-        )
 
     def enqueue_copy_buffer(
         self,
@@ -214,63 +257,69 @@ class CommandQueue:
         from ..devices.base import Launch
         from ..oclc.interp import BufferArg
 
-        if self.fault_hook is not None:
-            self.fault_hook("launch")
-        if isinstance(global_size, int):
-            global_size = (global_size,)
-        global_size = tuple(int(g) for g in global_size)
-        kernel.validate_launch(self.device, global_size, local_size)
-        args = kernel.bound_args()
+        with obs_trace.span("nd_range_kernel", "queue") as span:
+            if self.fault_hook is not None:
+                self.fault_hook("launch")
+            if isinstance(global_size, int):
+                global_size = (global_size,)
+            global_size = tuple(int(g) for g in global_size)
+            kernel.validate_launch(self.device, global_size, local_size)
+            args = kernel.bound_args()
 
-        plan = kernel.program.plan_for(self.device)
-        if plan.ir.name != kernel.name:
-            plan = self.device.model.plan_for_kernel(plan, kernel.name)
+            plan = kernel.program.plan_for(self.device)
+            if plan.ir.name != kernel.name:
+                plan = self.device.model.plan_for_kernel(plan, kernel.name)
 
-        # Write-protection and residency checks.
-        migrated = 0
-        for name, value in args.items():
-            if isinstance(value, Buffer):
-                access = [a for a in plan.ir.accesses if a.param == name]
-                if any(a.is_write for a in access) and not value.writable():
-                    raise LaunchError(
-                        f"kernel {kernel.name!r} writes read-only buffer {name!r}"
-                    )
-                if value.residency == "host":
-                    migrated += value.size
-                    value.residency = "device"
+            # Write-protection and residency checks.
+            migrated = 0
+            for name, value in args.items():
+                if isinstance(value, Buffer):
+                    access = [a for a in plan.ir.accesses if a.param == name]
+                    if any(a.is_write for a in access) and not value.writable():
+                        raise LaunchError(
+                            f"kernel {kernel.name!r} writes read-only buffer {name!r}"
+                        )
+                    if value.residency == "host":
+                        migrated += value.size
+                        value.residency = "device"
 
-        # Functional execution.
-        call_args = {
-            name: BufferArg(value.view(self._element_dtype(kernel, name)))
-            if isinstance(value, Buffer)
-            else value
-            for name, value in args.items()
-        }
-        self._execute(kernel, global_size, local_size, call_args)
+            # Functional execution.
+            call_args = {
+                name: BufferArg(value.view(self._element_dtype(kernel, name)))
+                if isinstance(value, Buffer)
+                else value
+                for name, value in args.items()
+            }
+            self._execute(kernel, global_size, local_size, call_args)
 
-        # Performance model.
-        launch = Launch(
-            global_size=global_size,
-            local_size=local_size,
-            buffer_bytes={
-                n: v.size for n, v in args.items() if isinstance(v, Buffer)
-            },
-        )
-        timing = self.device.model.kernel_timing(plan, launch)
-        detail = dict(timing.detail)
-        migration_s = 0.0
-        if migrated:
-            migration_s = self.device.model.transfer_time(migrated, "h2d")
-            detail["implicit_migration_s"] = migration_s
-            detail["implicit_migration_bytes"] = migrated
-        return self._schedule(
-            CommandType.ND_RANGE_KERNEL,
-            "compute",
-            timing.execution_s,
-            detail,
-            wait_for,
-            overhead=timing.launch_overhead_s + migration_s,
-        )
+            # Performance model.
+            launch = Launch(
+                global_size=global_size,
+                local_size=local_size,
+                buffer_bytes={
+                    n: v.size for n, v in args.items() if isinstance(v, Buffer)
+                },
+            )
+            timing = self.device.model.kernel_timing(plan, launch)
+            detail = dict(timing.detail)
+            migration_s = 0.0
+            if migrated:
+                migration_s = self.device.model.transfer_time(migrated, "h2d")
+                detail["implicit_migration_s"] = migration_s
+                detail["implicit_migration_bytes"] = migrated
+            span.set(
+                kernel=kernel.name,
+                global_size=list(global_size),
+                virtual_s=timing.execution_s,
+            )
+            return self._schedule(
+                CommandType.ND_RANGE_KERNEL,
+                "compute",
+                timing.execution_s,
+                detail,
+                wait_for,
+                overhead=timing.launch_overhead_s + migration_s,
+            )
 
     def _element_dtype(self, kernel: "Kernel", name: str) -> np.dtype:
         from .types import PointerType, ScalarType, VectorType
@@ -317,16 +366,20 @@ class CommandQueue:
         return self.now
 
     def reset_profile(self) -> None:
-        """Restart the virtual clock and drop recorded events.
+        """Restart the virtual clock, drop events and zero the counters.
 
         Warm state (the kernel-specialization cache) is kept. The
         execution engine calls this between measurement points so a
         long-lived queue produces timestamps — and therefore latencies —
         bit-identical to a fresh queue's: subtracting nearby large
         floats (late in a campaign's virtual time) would otherwise
-        drift in the last ulps.
+        drift in the last ulps. The per-queue :attr:`counters` restart
+        too, so per-point command/byte statistics never leak across
+        points of a long campaign (campaign-wide totals live in the
+        :mod:`repro.obs.metrics` registry instead).
         """
         self._engine_free = {e: 0.0 for e in _ENGINES}
         self._last_event = None
         self._enqueue_clock = 0.0
         self.events.clear()
+        self.counters = self._fresh_counters()
