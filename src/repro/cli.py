@@ -8,6 +8,7 @@ Mirrors the original benchmark's build-script flags::
     mp-stream figure fig1b
     mp-stream host-stream --size 64MiB
     mp-stream source --kernel triad --loop nested --vec 4
+    mp-stream verify --grid small
 """
 
 from __future__ import annotations
@@ -73,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(run)
     run.add_argument("--all-kernels", action="store_true", help="run all four kernels")
     run.add_argument("--ntimes", type=int, default=5)
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially verify the output after the timed launches "
+        "(mismatches fail the point as 'verify_mismatch')",
+    )
     run.add_argument("--csv", metavar="PATH", help="append results to a CSV file")
     run.add_argument(
         "--save", metavar="PATH", help="append results to a JSONL history file"
@@ -89,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep axis, e.g. vector_width=1,2,4,8,16 (repeatable)",
     )
     sweep.add_argument("--ntimes", type=int, default=3)
+    sweep.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially verify every point's output after its timed "
+        "launches (mismatches become 'verify_mismatch' data points)",
+    )
     sweep.add_argument(
         "--jobs",
         type=int,
@@ -190,6 +203,53 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck",
         help="fast consistency check: run tiny benchmarks on every target "
         "and verify the paper's qualitative orderings",
+    )
+
+    ver = sub.add_parser(
+        "verify",
+        help="differential verification suite: cross-model conformance, "
+        "metamorphic invariants, engine integration and the golden "
+        "regression corpus",
+    )
+    _add_obs_args(ver)
+    ver.add_argument(
+        "--grid",
+        default="small",
+        choices=["small", "default"],
+        help="how much of the parameter space to cover (default: small)",
+    )
+    ver.add_argument(
+        "--target",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="device targets for the engine-integration leg "
+        "(repeatable; default: cpu+gpu for --grid small, all four otherwise)",
+    )
+    ver.add_argument(
+        "--golden",
+        metavar="PATH",
+        default=None,
+        help="golden corpus file (default: tests/golden/corpus.json)",
+    )
+    ver.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="re-pin the golden corpus to current behaviour instead of "
+        "diffing against it",
+    )
+    ver.add_argument(
+        "--skip-golden",
+        action="store_true",
+        help="skip the golden-corpus pillar (for environments without "
+        "the checked-in corpus)",
+    )
+    ver.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="run the engine-integration leg under deterministic fault "
+        "injection (e.g. 'verify=1.0,seed=7'); injected verify-site "
+        "miscompiles must surface as 'verify_mismatch' data points",
     )
     return parser
 
@@ -365,6 +425,7 @@ def _make_runner(args: argparse.Namespace, ntimes: int) -> BenchmarkRunner:
     return BenchmarkRunner(
         args.target,
         ntimes=ntimes,
+        verify=getattr(args, "verify", False),
         cache=not getattr(args, "no_cache", False),
         faults=faults,
         watchdog=watchdog,
@@ -620,6 +681,95 @@ def _cmd_selfcheck(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run the three-pillar verification suite as a gate.
+
+    Exit 0 when everything holds, 1 when any pillar fails. With
+    ``--inject-faults`` the engine-integration leg instead asserts that
+    injected miscompiles surface as classified ``verify_mismatch`` data
+    points (the negative path), not as crashes.
+    """
+    from pathlib import Path
+
+    from . import verify as V
+    from .core import optimal_loop_for, verify_table
+
+    quick = args.grid == "small"
+    sections: dict[str, list[tuple[str, bool, str]]] = {}
+    with _obs_session(args) as session:
+        # pillar 1: cross-model conformance over every kernel variant
+        rows: list[tuple[str, bool, str]] = []
+        for kernel, dtype, nbytes in V.conformance_combos(args.grid):
+            rep = V.check_variants(kernel, dtype, nbytes)
+            rows.append((rep.describe(), rep.ok, ""))
+        sections["conformance"] = rows
+
+        # pillar 2: metamorphic laws over the performance models
+        rows = []
+        for law in V.check_all(quick=quick):
+            detail = "; ".join(v.describe() for v in law.violations[:2])
+            rows.append((law.describe(), law.ok, detail))
+        sections["metamorphic"] = rows
+
+        # engine integration: sweep a small grid end-to-end with the
+        # verify stage enabled (under fault injection when asked)
+        faults = (
+            FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+        )
+        targets = args.target or (
+            ["cpu", "gpu"] if quick else ["cpu", "gpu", "aocl", "sdaccel"]
+        )
+        rows = []
+        for target in targets:
+            sweep = ParameterSweep(
+                base=TuningParameters(
+                    array_bytes=4096, loop=optimal_loop_for(target)
+                ),
+                axes={
+                    "kernel": list(KernelName),
+                    "dtype": [DataType.INT, DataType.DOUBLE],
+                },
+            )
+            runner = BenchmarkRunner(target, ntimes=2, verify=True, faults=faults)
+            results = explore(runner, sweep)
+            kinds = results.failure_kinds()
+            if faults is None:
+                ok = all(r.ok for r in results)
+                detail = f"{len(results)} points verified" if ok else str(kinds)
+            else:
+                # negative path: every failure must be *classified* —
+                # an injected miscompile is a data point, not a crash
+                ok = all(r.ok or r.failure_kind for r in results) and bool(kinds)
+                detail = f"injected faults classified as {kinds}"
+            rows.append((f"{target}: sweep --verify", ok, detail))
+        sections["engine"] = rows
+
+        # pillar 3: golden regression corpus
+        if not args.skip_golden:
+            golden_path = (
+                Path(args.golden) if args.golden else V.DEFAULT_GOLDEN_PATH
+            )
+            current = V.compute_corpus()
+            n = len(current["entries"])
+            if args.update_golden:
+                V.save_corpus(golden_path, current)
+                sections["golden"] = [
+                    (f"re-pinned {n} entries -> {golden_path}", True, "")
+                ]
+            else:
+                pinned = V.load_corpus(golden_path)
+                diff = V.diff_corpus(pinned, current)
+                drift = V.format_drift(diff, pinned, current)
+                sections["golden"] = [(drift.splitlines()[0], diff.clean, "")]
+                if not diff.clean:
+                    print(drift)
+                    print()
+    print(verify_table(sections))
+    _report_obs(session)
+    failed = any(not ok for rows in sections.values() for _, ok, _ in rows)
+    return 1 if failed else 0
+
+
 def _cmd_gpustream(args: argparse.Namespace) -> int:
     from .gpustream import run_gpu_stream
 
@@ -672,6 +822,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "gpustream": _cmd_gpustream,
         "selfcheck": _cmd_selfcheck,
+        "verify": _cmd_verify,
     }
     try:
         return handlers[args.command](args)

@@ -43,6 +43,7 @@ from .report import (
     results_table,
     series_table,
     stream_table,
+    verify_table,
 )
 from .results import ResultSet, RunResult
 from .roofline import RooflinePoint, peak_compute_flops, roofline_point
@@ -94,6 +95,7 @@ __all__ = [
     "stream_table",
     "failure_table",
     "metrics_table",
+    "verify_table",
     "results_table",
     "series_table",
     "ascii_chart",

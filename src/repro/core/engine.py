@@ -17,7 +17,15 @@ with cached artifacts between them:
    plan-cache hook, keyed by ``(source, defines, device)``; build
    *failures* (FPGA resource overflow) are cached and replayed too;
 4. **execute** — launch on a long-lived context/queue pair, warm-up +
-   ``ntimes`` timed repetitions, STREAM validation.
+   ``ntimes`` timed repetitions, STREAM validation;
+5. **verify** (optional, ``verify=True``) — differential verification of
+   the point's output through :mod:`repro.verify`: the observed arrays
+   are checked against an independent re-derivation (oclc interpreter
+   for small points, NumPy reference otherwise) under pinned ULP
+   budgets. The stage runs strictly *after* the timed repetitions, so
+   it never perturbs the measurement; a disagreement fails the point as
+   ``failure_kind="verify_mismatch"`` with the structured verdict kept
+   in ``detail["verify"]``.
 
 Sweep points that differ only in array size or repetition count reuse
 the stage-2/3 artifacts outright (an NDRange kernel's source never
@@ -72,6 +80,7 @@ from ..errors import (
     ReproError,
     TransientError,
     ValidationError,
+    VerifyMismatchError,
     failure_kind,
 )
 from ..faults import FaultPlan, InjectedReadbackFault
@@ -95,8 +104,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["ExecutionEngine", "EngineStats", "Watchdog", "STAGES"]
 
-#: pipeline stage names, in order
-STAGES = ("generate", "compile", "plan", "execute")
+#: pipeline stage names, in order ("verify" only runs when enabled)
+STAGES = ("generate", "compile", "plan", "execute", "verify")
 
 
 @dataclass(frozen=True)
@@ -223,6 +232,7 @@ class ExecutionEngine:
         ntimes: int = 5,
         warmup: int = 1,
         validate: bool = True,
+        verify: bool = False,
         cache: BuildCache | bool = True,
         stats: EngineStats | None = None,
         faults: FaultPlan | None = None,
@@ -241,6 +251,7 @@ class ExecutionEngine:
         self.ntimes = ntimes
         self.warmup = warmup
         self.validate = validate
+        self.verify = verify
         if cache is True:
             self.cache: BuildCache | None = BuildCache()
         elif cache is False:
@@ -268,6 +279,7 @@ class ExecutionEngine:
             ntimes=self.ntimes,
             warmup=self.warmup,
             validate=self.validate,
+            verify=self.verify,
             cache=self.cache if self.cache is not None else False,
             stats=self.stats,
             faults=self.faults,
@@ -342,7 +354,13 @@ class ExecutionEngine:
                     else:
                         message = f"{type(exc).__name__}: {exc}"
                     result = self._failure(
-                        params, message, clock, kind=failure_kind(exc)
+                        params,
+                        message,
+                        clock,
+                        kind=failure_kind(exc),
+                        verify=exc.verdict
+                        if isinstance(exc, VerifyMismatchError)
+                        else None,
                     )
                     break
             point_span.set(ok=result.ok, attempts=attempt + 1)
@@ -453,6 +471,44 @@ class ExecutionEngine:
             span.set(cache="hit" if hit else "miss")
             return plan, "hit" if hit else "miss"
 
+    def _stage_verify(
+        self,
+        params: TuningParameters,
+        gen: GeneratedKernel,
+        observed: dict[str, np.ndarray],
+        clock: _StageClock,
+        *,
+        key: str,
+        attempt: int,
+    ) -> dict[str, object]:
+        """Stage 5: differential verification of the observed output.
+
+        Runs strictly after the timed repetitions (off the timed path)
+        and raises :class:`~repro.errors.VerifyMismatchError` — a
+        *permanent* failure, a miscompile reproduces on retry — when
+        the device output disagrees with the independent re-derivation.
+        The ``verify`` fault site's miscompile hook corrupts the
+        re-derived side, so STREAM validation stays green and only this
+        stage can catch it.
+        """
+        from ..verify.conformance import verify_device_outputs
+
+        corrupt = None
+        if self.faults is not None:
+            faults = self.faults
+
+            def corrupt(arrays: dict[str, np.ndarray]) -> bool:
+                return faults.corrupt_verify(key, attempt, arrays)
+
+        with obs_trace.span("verify", "engine") as span, clock.timed("verify"):
+            verdict = verify_device_outputs(params, gen, observed, corrupt=corrupt)
+            span.set(ok=verdict["ok"], mode=verdict["mode"])
+        obs_metrics.count("verify.points")
+        if not verdict["ok"]:
+            obs_metrics.count("verify.mismatches")
+            raise VerifyMismatchError(str(verdict["error"]), verdict=verdict)
+        return verdict
+
     # -- fault/watchdog plumbing -------------------------------------------------
 
     def _checkpoint(
@@ -544,7 +600,8 @@ class ExecutionEngine:
                         budget.charge_virtual(event.latency)
 
                 validated = False
-                if self.validate:
+                observed: dict[str, np.ndarray] | None = None
+                if self.validate or self.verify:
                     observed = {
                         name: buffers[name].view(initial[name].dtype).copy()
                         for name in ("a", "b", "c")
@@ -553,6 +610,8 @@ class ExecutionEngine:
                         key, attempt, observed
                     ):
                         fired.add("readback")
+                if self.validate:
+                    assert observed is not None
                     try:
                         validate_solution(
                             params.kernel,
@@ -572,6 +631,11 @@ class ExecutionEngine:
                 queue.fault_hook = None
                 self._release(ctx, buffers)
 
+        if self.verify:
+            assert observed is not None
+            last_detail["verify"] = self._stage_verify(
+                params, gen, observed, clock, key=key, attempt=attempt
+            )
         last_detail["build_log"] = program.build_log(self.device)
         last_detail["generated_source"] = gen.source
         last_detail["engine"] = self._instrumentation(
@@ -714,10 +778,13 @@ class ExecutionEngine:
         clock: _StageClock,
         *,
         kind: str = "",
+        verify: dict[str, object] | None = None,
     ) -> RunResult:
         detail: dict[str, object] = {
             "engine": self._instrumentation(clock, "n/a", "n/a")
         }
+        if verify is not None:
+            detail["verify"] = verify
         return RunResult(
             target=self.target,
             params=params,

@@ -20,6 +20,7 @@ __all__ = [
     "failure_table",
     "series_table",
     "metrics_table",
+    "verify_table",
     "ascii_chart",
     "markdown_table",
 ]
@@ -93,6 +94,29 @@ def failure_table(results: ResultSet, *, examples: int = 1) -> str:
         if len(first) > 60:
             first = first[:57] + "..."
         lines.append(f"{kind:<14}{count:>7}  {first}")
+    return "\n".join(lines)
+
+
+def verify_table(
+    sections: Mapping[str, Sequence[tuple[str, bool, str]]]
+) -> str:
+    """Checklist rendering of a ``mp-stream verify`` suite run.
+
+    ``sections`` maps a pillar name (``conformance``, ``metamorphic``,
+    ``engine``, ``golden``) to ``(label, ok, detail)`` rows. Kept as
+    plain tuples so the report layer needs no import of
+    :mod:`repro.verify` (which imports the engine, which reports here).
+    """
+    if not sections:
+        return "(nothing verified)"
+    lines: list[str] = []
+    for section, rows in sections.items():
+        ok = all(row_ok for _, row_ok, _ in rows)
+        lines.append(f"{section}  [{'ok' if ok else 'FAIL'}]")
+        for label, row_ok, detail in rows:
+            mark = "ok" if row_ok else "FAIL"
+            suffix = f"  ({detail})" if detail else ""
+            lines.append(f"  [{mark:>4}] {label}{suffix}")
     return "\n".join(lines)
 
 

@@ -78,20 +78,22 @@ class RunResult:
 
     #: ``detail`` keys describing how a result was *obtained* rather
     #: than what was measured; excluded from :meth:`fingerprint`
-    _PROVENANCE_KEYS = frozenset({"engine", "obs"})
+    _PROVENANCE_KEYS = frozenset({"engine", "obs", "verify"})
 
     def fingerprint(self) -> str:
         """Deterministic identity of the *measurement*.
 
         Everything the benchmark measured — times, bytes, validation,
         error text, model detail — serialized canonically, with the
-        provenance keys (``detail["engine"]``, ``detail["obs"]``)
-        excluded: cache outcomes, stage wall-times and observability
-        annotations describe how a result was *obtained* (cold vs
-        cached, serial vs parallel, traced vs untraced), not what was
-        measured. Two runs of the same point must produce equal
-        fingerprints regardless of cache state, executor schedule, or
-        whether :mod:`repro.obs` instrumentation was active.
+        provenance keys (``detail["engine"]``, ``detail["obs"]``,
+        ``detail["verify"]``) excluded: cache outcomes, stage
+        wall-times, observability annotations and verification verdicts
+        describe how a result was *obtained* or *checked* (cold vs
+        cached, serial vs parallel, traced vs untraced, verified vs
+        unverified), not what was measured. Two runs of the same point
+        must produce equal fingerprints regardless of cache state,
+        executor schedule, or whether :mod:`repro.obs` instrumentation
+        or the :mod:`repro.verify` stage was active.
         """
         detail = {
             k: v for k, v in self.detail.items() if k not in self._PROVENANCE_KEYS

@@ -44,7 +44,8 @@ class BenchmarkRunner:
     full front-end + device build, the pre-engine behaviour).
     ``faults``, ``watchdog`` and ``retries`` configure the engine's
     resilience layer (fault injection, per-point budgets, transient
-    retry).
+    retry); ``verify=True`` adds the differential verification stage
+    after every point (see :mod:`repro.verify`).
     """
 
     def __init__(
@@ -54,6 +55,7 @@ class BenchmarkRunner:
         ntimes: int = 5,
         warmup: int = 1,
         validate: bool = True,
+        verify: bool = False,
         cache: BuildCache | bool = True,
         faults: FaultPlan | None = None,
         watchdog: Watchdog | None = None,
@@ -64,6 +66,7 @@ class BenchmarkRunner:
             ntimes=ntimes,
             warmup=warmup,
             validate=validate,
+            verify=verify,
             cache=cache,
             faults=faults,
             watchdog=watchdog,
@@ -73,6 +76,7 @@ class BenchmarkRunner:
         self.ntimes = ntimes
         self.warmup = warmup
         self.validate = validate
+        self.verify = verify
 
     @property
     def target(self) -> str:

@@ -25,6 +25,12 @@ hanging the pool. A worker *crash* (an engine bug — per-point failures
 never raise) cancels the remaining queue and surfaces as a
 :class:`~repro.errors.SweepError` naming the grid point.
 
+Verification: an engine constructed with ``verify=True`` runs the
+differential verification stage (:mod:`repro.verify`) after every
+executed point, so a whole campaign can be swept end-to-end under
+``--verify``; mismatches land as ``"verify_mismatch"`` data points and
+are tallied in the ``sweep_finished`` event's ``failure_kinds``.
+
 Observability: when :mod:`repro.obs` sinks are active, the campaign is
 wrapped in a ``sweep`` trace span and emits ``sweep_started``,
 ``point_restored`` and ``sweep_finished`` structured events;
@@ -205,11 +211,15 @@ def explore(
                             f"({params.describe()}): {type(exc).__name__}: {exc}"
                         ) from exc
     results = ResultSet(r for r in slots if r is not None)
+    kinds: dict[str, int] = {}
+    for r in results.failed():
+        kinds[r.failure_kind or "unknown"] = kinds.get(r.failure_kind or "unknown", 0) + 1
     obs_events.emit(
         "sweep_finished",
         target=engine.target,
         points=len(results),
         failures=len(results.failed()),
+        failure_kinds=dict(sorted(kinds.items())),
     )
     return results
 

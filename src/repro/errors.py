@@ -27,6 +27,7 @@ __all__ = [
     "UnsupportedKernelError",
     "BenchmarkError",
     "ValidationError",
+    "VerifyMismatchError",
     "SweepError",
     "PointTimeoutError",
     "failure_kind",
@@ -173,6 +174,24 @@ class ValidationError(BenchmarkError):
     """STREAM solution validation failed (results drifted beyond epsilon)."""
 
 
+class VerifyMismatchError(BenchmarkError):
+    """Differential verification disagreed about a kernel's output.
+
+    Raised by the execution engine's optional post-execute verify stage
+    (see :mod:`repro.verify`) when the oclc interpreter's re-execution
+    of the generated kernel, the NumPy host-stream reference, and the
+    device-observed arrays do not agree within the pinned ULP budget of
+    :mod:`repro.verify.tolerance`. Deliberately *not* transient: a
+    miscompile reproduces on retry, so the point is recorded as a
+    permanent ``"verify_mismatch"`` failure instead of being retried.
+    Carries the structured verdict for the result's ``detail``.
+    """
+
+    def __init__(self, message: str, *, verdict: dict | None = None):
+        super().__init__(message)
+        self.verdict: dict = verdict if verdict is not None else {}
+
+
 class SweepError(BenchmarkError):
     """A design-space sweep was mis-specified."""
 
@@ -198,8 +217,9 @@ _FAILURE_KINDS: "tuple[tuple[type, str], ...]" = ()
 def failure_kind(exc: BaseException | None) -> str:
     """Classify an exception into the campaign failure taxonomy.
 
-    Returns one of ``"timeout"``, ``"validation"``, ``"build"``,
-    ``"launch"``, ``"compile"``, ``"runtime"``, ``"harness"`` or
+    Returns one of ``"timeout"``, ``"verify_mismatch"``,
+    ``"validation"``, ``"build"``, ``"launch"``, ``"compile"``,
+    ``"runtime"``, ``"harness"`` or
     ``"internal"`` — the value recorded on
     :attr:`~repro.core.results.RunResult.failure_kind` and aggregated
     by :meth:`~repro.core.results.ResultSet.failure_kinds`.
@@ -214,6 +234,7 @@ def failure_kind(exc: BaseException | None) -> str:
 
 _FAILURE_KINDS = (
     (PointTimeoutError, "timeout"),
+    (VerifyMismatchError, "verify_mismatch"),
     (ValidationError, "validation"),
     (BuildError, "build"),
     (ResourceError, "build"),  # a design that does not fit fails the build

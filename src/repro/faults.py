@@ -34,6 +34,13 @@ Sites (see :data:`FAULT_SITES`):
 ``stall``
     The point hangs (bounded by ``stall_s``), cooperatively checking
     the watchdog so a budget cancels it as a ``timeout`` failure.
+``verify``
+    A simulated *miscompile*: the differential re-execution inside the
+    engine's optional verify stage (see :mod:`repro.verify`) has one
+    word corrupted before comparison, so the verifier must flag the
+    point. Unlike every other site this one is deliberately **not**
+    transient — a miscompile reproduces on retry — and the engine
+    records it as a permanent ``"verify_mismatch"`` failure.
 
 Specs are parsed from compact CLI text::
 
@@ -70,7 +77,15 @@ __all__ = [
 ]
 
 #: every place a fault can be injected
-FAULT_SITES = ("generate", "compile", "build", "launch", "readback", "stall")
+FAULT_SITES = (
+    "generate",
+    "compile",
+    "build",
+    "launch",
+    "readback",
+    "stall",
+    "verify",
+)
 
 #: wall seconds a stalled point hangs when no watchdog cancels it
 DEFAULT_STALL_S = 30.0
@@ -216,6 +231,36 @@ class FaultPlan:
         """
         if not self.should_fire("readback", point_key, attempt):
             return False
+        self._flip_word("corrupt", point_key, attempt, arrays)
+        return True
+
+    def corrupt_verify(
+        self,
+        point_key: str,
+        attempt: int,
+        arrays: "Mapping[str, np.ndarray] | np.ndarray",
+    ) -> bool:
+        """Flip one word of the verifier's differential outputs.
+
+        Models a miscompile: the recompiled reference execution the
+        verify stage compares against disagrees with the device, and
+        the verifier must report a ``verify_mismatch`` — permanently,
+        since the same wrong code would come back on every retry.
+        Returns whether corruption was injected.
+        """
+        if not self.should_fire("verify", point_key, attempt):
+            return False
+        self._flip_word("verify-corrupt", point_key, attempt, arrays)
+        return True
+
+    def _flip_word(
+        self,
+        label: str,
+        point_key: str,
+        attempt: int,
+        arrays: "Mapping[str, np.ndarray] | np.ndarray",
+    ) -> None:
+        """XOR one deterministically chosen byte of one array."""
         if isinstance(arrays, np.ndarray):
             victims = [arrays]
         else:
@@ -223,7 +268,7 @@ class FaultPlan:
         rng = make_rng(
             int.from_bytes(
                 hashlib.sha256(
-                    f"{self.spec.seed}\x1fcorrupt\x1f{attempt}\x1f{point_key}".encode()
+                    f"{self.spec.seed}\x1f{label}\x1f{attempt}\x1f{point_key}".encode()
                 ).digest()[:8],
                 "little",
             )
@@ -232,7 +277,6 @@ class FaultPlan:
         flat = victim.reshape(-1).view(np.uint8)
         if flat.size:
             flat[int(rng.integers(flat.size))] ^= 0xFF
-        return True
 
     def stall(
         self,

@@ -1,0 +1,60 @@
+"""The NumPy host-stream reference used by differential verification.
+
+:mod:`repro.verify.conformance` compares every generated-kernel variant
+against *one* canonical host-side computation of the STREAM semantics.
+That computation lives here, next to the real-silicon host benchmark,
+because the two must agree by construction: :func:`run_host_stream`
+times exactly these NumPy expressions, and the verifier treats them as
+ground truth.
+
+Association order is part of the contract. Each kernel is a single
+elementwise NumPy expression evaluated in source order —
+``TRIAD`` is ``np.add(b, np.multiply(q, c))``, i.e. ``b + (q * c)``
+with one rounding per operation and **no** fused multiply-add. The oclc
+interpreter evaluates the generated OpenCL-C the same way (per-element
+NumPy ufuncs in source association), which is why the pinned ULP
+budgets in :mod:`repro.verify.tolerance` can be tight; see the audit
+note there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import SCALAR_Q, reference
+from ..core.params import KernelName
+
+__all__ = ["stream_reference", "expected_scalars"]
+
+
+def stream_reference(
+    kernel: KernelName,
+    arrays: dict[str, np.ndarray],
+    *,
+    touched_words: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Expected array state after one kernel application.
+
+    A thin, documented front door over
+    :func:`repro.core.kernels.reference` so verification code names its
+    ground truth explicitly. ``arrays`` is not mutated; dtype semantics
+    (int32/float32/float64 arithmetic, one rounding per operation)
+    follow the input arrays.
+    """
+    return reference(kernel, arrays, touched_words=touched_words)
+
+
+def expected_scalars(q: float = float(SCALAR_Q)) -> tuple[float, float, float]:
+    """Final (a, b, c) scalar values after one COPY→SCALE→ADD→TRIAD pass.
+
+    STREAM's arrays start constant (a=1, b=2, c=0) and each kernel maps
+    constants to constants, so the whole sequence reduces to scalar
+    recurrences — stream.c validates exactly this way. Shared by the
+    real host benchmark's solution check and the verification tests.
+    """
+    ea, eb, ec = 1.0, 2.0, 0.0
+    ec = ea  # copy
+    eb = q * ec  # scale
+    ec = ea + eb  # add
+    ea = eb + q * ec  # triad
+    return ea, eb, ec

@@ -113,11 +113,9 @@ def run_host_stream(
     # stream.c-style solution check: the arrays hold the values the
     # kernel sequence implies (each kernel ran warm-up + ntimes with
     # constant-valued arrays, so scalars suffice)
-    ea, eb, ec = 1.0, 2.0, 0.0
-    ec = ea  # copy
-    eb = float(q) * ec  # scale
-    ec = ea + eb  # add
-    ea = eb + float(q) * ec  # triad
+    from .reference import expected_scalars
+
+    ea, eb, ec = expected_scalars(float(q))
     for name, arr, want in (("a", a, ea), ("b", b, eb), ("c", c, ec)):
         if dt.kind == "f":
             err = float(np.max(np.abs(arr - want)))

@@ -6,7 +6,8 @@ counts hits and misses, the memory simulators count bytes, rows and
 cache lines, the queue counts commands. The registry gives all of them
 one sink with stable, dot-separated metric names
 (``engine.points``, ``build_cache.frontend_hits``,
-``memsim.dram.bytes``, ``queue.h2d_bytes``, ...) and one snapshot
+``memsim.dram.bytes``, ``queue.h2d_bytes``, and the verification
+stage's ``verify.points`` / ``verify.mismatches``) and one snapshot
 format, exportable as JSON via ``--metrics`` and renderable with
 :func:`repro.core.report.metrics_table`.
 

@@ -7,6 +7,13 @@ vector operations). This is the *semantic reference*: the fast
 vectorized execution path (:mod:`repro.oclc.specialize`) is validated
 against it, and the device performance models never touch data at all.
 
+Floating-point association: binary operators evaluate as per-element
+NumPy ufuncs in source association — one IEEE-754 rounding per
+operation, no fused multiply-add — which makes the interpreter bitwise
+comparable to the NumPy host-stream reference. The pinned ULP budgets
+for those comparisons live in :mod:`repro.verify.tolerance` (see its
+audit note).
+
 Work-item execution order is a deterministic linear sweep of the global
 range; STREAM-style kernels are embarrassingly parallel so order does
 not matter, but a barrier inside a loop would — the interpreter rejects

@@ -295,3 +295,83 @@ class TestResilienceFlags:
         code = main(self.SWEEP + ["--resume"])
         assert code == 2
         assert "journal" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    SWEEP = ["sweep", "--target", "cpu", "--size", "4KiB",
+             "--axis", "vector_width=1,2", "--ntimes", "1"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.grid == "small"
+        assert args.golden is None
+        assert not args.update_golden and not args.skip_golden
+
+    def test_verify_small_grid_passes_clean(self, capsys):
+        code = main(["verify", "--grid", "small", "--target", "cpu"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for pillar in ("conformance", "metamorphic", "engine", "golden"):
+            assert pillar in out
+        assert "FAIL" not in out
+        assert "clean (no drift)" in out
+
+    def test_sweep_verify_flag_runs_clean(self, capsys):
+        code = main(self.SWEEP + ["--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "verify_mismatch" not in out
+
+    def test_injected_miscompile_reported_as_verify_mismatch(self, capsys):
+        code = main(self.SWEEP + ["--verify", "--inject-faults",
+                                  "verify=1.0,seed=7"])
+        assert code == 0  # mismatches are data points, not crashes
+        out = capsys.readouterr().out
+        assert "verify_mismatch" in out
+        assert "failure kind" in out
+
+    def test_verify_negative_path_classifies_faults(self, capsys):
+        code = main(["verify", "--grid", "small", "--target", "cpu",
+                     "--skip-golden", "--inject-faults", "verify=1.0,seed=7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify_mismatch" in out
+        assert "FAIL" not in out
+
+    def test_update_golden_writes_corpus(self, tmp_path, capsys):
+        golden = tmp_path / "corpus.json"
+        code = main(["verify", "--grid", "small", "--target", "cpu",
+                     "--golden", str(golden), "--update-golden"])
+        assert code == 0
+        assert golden.exists()
+        assert "re-pinned" in capsys.readouterr().out
+        # a second run against the fresh pin is clean
+        code = main(["verify", "--grid", "small", "--target", "cpu",
+                     "--golden", str(golden)])
+        assert code == 0
+        assert "clean (no drift)" in capsys.readouterr().out
+
+    def test_drift_fails_with_diff_report(self, tmp_path, capsys):
+        import json
+
+        golden = tmp_path / "corpus.json"
+        assert main(["verify", "--grid", "small", "--target", "cpu",
+                     "--golden", str(golden), "--update-golden"]) == 0
+        capsys.readouterr()
+        doc = json.loads(golden.read_text())
+        key = next(iter(doc["entries"]))
+        doc["entries"][key]["result_sha"] = "0" * 16
+        golden.write_text(json.dumps(doc))
+        code = main(["verify", "--grid", "small", "--target", "cpu",
+                     "--golden", str(golden)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "drift" in out and "result_sha" in out
+        assert "-   result_sha = 0000000000000000" in out
+
+    def test_missing_golden_exits_with_guidance(self, tmp_path, capsys):
+        code = main(["verify", "--grid", "small", "--target", "cpu",
+                     "--golden", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "update-golden" in capsys.readouterr().err

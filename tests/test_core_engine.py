@@ -55,10 +55,13 @@ class TestStagedPipeline:
             "compile",
             "plan",
             "execute",
+            "verify",
         }
         assert engine_info["frontend_cache"] == "miss"
         assert engine_info["plan_cache"] == "miss"
         assert engine_info["stage_s"]["execute"] > 0
+        # the verify stage only accrues time when enabled
+        assert engine_info["stage_s"]["verify"] == 0.0
 
     def test_second_run_hits_both_caches(self, small_params):
         engine = _engine("gpu")

@@ -314,6 +314,128 @@ class TestJournal:
         assert len(SweepJournal(path).load()) == 3
 
 
+class TestVerifyFaultSite:
+    def test_parse_accepts_verify_site(self):
+        spec = FaultSpec.parse("verify=0.5,seed=3")
+        assert dict(spec.rates) == {"verify": 0.5}
+        assert "verify" in FAULT_SITES
+
+    def test_verify_mismatch_is_permanent_not_transient(self):
+        from repro.errors import VerifyMismatchError
+
+        assert not issubclass(VerifyMismatchError, TransientError)
+        assert failure_kind(VerifyMismatchError("x")) == "verify_mismatch"
+        assert VerifyMismatchError("x", verdict={"ok": False}).verdict == {
+            "ok": False
+        }
+
+    def test_injected_miscompile_flagged_not_crashed(self):
+        # the verify site corrupts the *re-derived* side, so STREAM
+        # validation stays green and only the verify stage can catch it
+        plan = FaultPlan.parse("verify=1.0,seed=7")
+        engine = ExecutionEngine("cpu", ntimes=1, verify=True, validate=True,
+                                 faults=plan, retries=2, backoff_s=0.0)
+        result = engine.run(SMALL)  # returned, not raised
+        assert not result.ok
+        assert result.failure_kind == "verify_mismatch"
+        verdict = result.detail["verify"]
+        assert verdict["ok"] is False and verdict["corrupted"] is True
+        assert "re-derived" in result.error
+        # a miscompile reproduces on retry: no retry budget is burned
+        assert result.detail["engine"]["attempts"] == 1
+
+    def test_corrupt_verify_decisions_are_deterministic(self):
+        plan = FaultPlan.parse("verify=0.5,seed=21")
+        arrays = lambda: {  # noqa: E731 - tiny fixture
+            n: np.ones(16, dtype=np.int32) for n in ("a", "b", "c")
+        }
+        draws = []
+        for i in range(20):
+            a = arrays()
+            fired = plan.corrupt_verify(f"k{i}", 0, a)
+            flipped = sum((a[n] != 1).sum() for n in a)
+            assert flipped == (1 if fired else 0)
+            draws.append(fired)
+        assert draws == [
+            FaultPlan.parse("verify=0.5,seed=21").corrupt_verify(
+                f"k{i}", 0, arrays()
+            )
+            for i in range(20)
+        ]
+        assert any(draws) and not all(draws)
+
+    def test_clean_verify_run_has_no_fault_effect(self):
+        plan = FaultPlan.parse("verify=0.0")
+        engine = ExecutionEngine("cpu", ntimes=1, verify=True, faults=plan)
+        result = engine.run(SMALL)
+        assert result.ok
+        assert result.detail["verify"]["ok"] is True
+        assert result.detail["verify"]["corrupted"] is False
+
+
+class TestVerifyResume:
+    def _runner(self, faults: str | None = None):
+        return BenchmarkRunner(
+            "cpu",
+            ntimes=1,
+            verify=True,
+            faults=FaultPlan.parse(faults) if faults else None,
+        )
+
+    @staticmethod
+    def _verdicts(results):
+        return [json.dumps(r.detail.get("verify"), sort_keys=True) for r in results]
+
+    def test_resumed_sweep_restores_byte_identical_verdicts(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        fresh = explore(self._runner(), _sweep())
+        # simulate a kill after the first point, then resume the rest
+        journal = SweepJournal(path)
+        points = list(_sweep().points())
+        journal.record(
+            point_fingerprint("cpu", points[0]),
+            self._runner().engine.run(points[0]),
+        )
+        resumed = explore(
+            self._runner(), _sweep(), journal=SweepJournal(path), resume=True
+        )
+        assert self._verdicts(resumed) == self._verdicts(fresh)
+        assert [r.fingerprint() for r in resumed] == [
+            r.fingerprint() for r in fresh
+        ]
+
+    def test_resume_preserves_mismatch_verdicts_too(self, tmp_path):
+        # a mixed campaign: some points pass, some fail verification
+        path = tmp_path / "campaign.jsonl"
+        faults = "verify=0.5,seed=29"
+        fresh = explore(self._runner(faults), _sweep())
+        kinds = {r.failure_kind for r in fresh}
+        assert "verify_mismatch" in kinds and "" in kinds  # genuinely mixed
+        journal = SweepJournal(path)
+        points = list(_sweep().points())
+        journal.record(
+            point_fingerprint("cpu", points[0]),
+            self._runner(faults).engine.run(points[0]),
+        )
+        resumed = explore(
+            self._runner(faults),
+            _sweep(),
+            journal=SweepJournal(path),
+            resume=True,
+        )
+        assert self._verdicts(resumed) == self._verdicts(fresh)
+        assert [r.failure_kind for r in resumed] == [
+            r.failure_kind for r in fresh
+        ]
+
+    def test_verify_toggle_does_not_change_fingerprints(self):
+        plain = explore(BenchmarkRunner("cpu", ntimes=1), _sweep())
+        verified = explore(self._runner(), _sweep())
+        assert [r.fingerprint() for r in verified] == [
+            r.fingerprint() for r in plain
+        ]
+
+
 class TestWorkerCrash:
     def test_crash_cancels_pool_and_names_point(self):
         class BombEngine:

@@ -1,4 +1,11 @@
-"""Sum reductions in the specializer (dot products and friends)."""
+"""Sum reductions in the specializer (dot products and friends).
+
+Float comparisons here pit one summation order against another (the
+specializer's partial-sum vectorization vs NumPy's pairwise ``dot`` or
+the interpreter's sequential loop), so they use the pinned reduction
+budget from :mod:`repro.verify.tolerance` instead of ad-hoc
+``pytest.approx`` epsilons.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,17 @@ import pytest
 from repro.errors import UnsupportedKernelError
 from repro.gpustream import run_gpu_stream
 from repro.oclc import BufferArg, compile_source, run_kernel, specialize
+from repro.verify import max_ulp_diff, reduction_ulps
+
+
+def assert_reduction_close(got: float, want: float, terms: int) -> None:
+    """Two orderings of the same ``terms``-long sum agree within budget."""
+    pair = np.asarray([got, want], dtype=np.float64)
+    worst = max_ulp_diff(pair[:1], pair[1:])
+    assert worst <= reduction_ulps(terms), (
+        f"{got!r} vs {want!r}: {worst} ULPs exceeds the "
+        f"{reduction_ulps(terms)}-ULP budget for a {terms}-term reduction"
+    )
 
 DOT_SRC = """
 __kernel void dot_k(__global const double *a, __global const double *b,
@@ -28,7 +46,7 @@ class TestReductions:
         b = rng.random(512)
         c = np.zeros(1)
         specialize(p).run((1,), {"a": BufferArg(a), "b": BufferArg(b), "c": BufferArg(c)})
-        assert c[0] == pytest.approx(np.dot(a, b))
+        assert_reduction_close(c[0], np.dot(a, b), terms=512)
 
     def test_matches_interpreter(self, rng):
         p = compile_source(DOT_SRC, {"N": "128"})
@@ -42,7 +60,7 @@ class TestReductions:
         run_kernel(
             p, "dot_k", (1,), {"a": BufferArg(a), "b": BufferArg(b), "c": BufferArg(c_ref)}
         )
-        assert c_fast[0] == pytest.approx(c_ref[0], rel=1e-12)
+        assert_reduction_close(c_fast[0], c_ref[0], terms=128)
 
     def test_assignment_form(self):
         src = """
@@ -108,8 +126,8 @@ __kernel void k(__global const double *a, __global double *c) {
         a = rng.random(64)
         c = np.zeros(2)
         specialize(p).run((1,), {"a": BufferArg(a), "c": BufferArg(c)})
-        assert c[0] == pytest.approx(a.sum())
-        assert c[1] == pytest.approx((a * a).sum())
+        assert_reduction_close(c[0], a.sum(), terms=64)
+        assert_reduction_close(c[1], (a * a).sum(), terms=64)
 
 
 class TestReductionRefusals:

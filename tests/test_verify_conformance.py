@@ -1,0 +1,275 @@
+"""Differential conformance: interpreter vs reference vs device, plus
+the pinned ULP tolerance policy and the seeded-random fuzz loop."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.generator import generate
+from repro.core.kernels import initial_arrays
+from repro.core.params import (
+    AccessPattern,
+    DataType,
+    KernelName,
+    LoopManagement,
+    TuningParameters,
+)
+from repro.errors import SweepError
+from repro.rng import make_rng
+from repro.verify import (
+    INTERP_WORD_LIMIT,
+    ULP_TOLERANCE,
+    check_point,
+    check_variants,
+    interpret_point,
+    max_ulp_diff,
+    output_checksum,
+    random_point,
+    reduction_ulps,
+    shrink_failure,
+    ulp_diff,
+    variant_grid,
+    verify_device_outputs,
+    within_tolerance,
+)
+
+
+class TestUlpDiff:
+    def test_identical_arrays_are_zero_ulp(self):
+        x = np.array([0.0, 1.5, -2.25, 1e300], dtype=np.float64)
+        assert max_ulp_diff(x, x.copy()) == 0.0
+
+    def test_adjacent_floats_are_one_ulp(self):
+        x = np.array([1.0], dtype=np.float64)
+        y = np.nextafter(x, np.inf)
+        assert max_ulp_diff(x, y) == 1.0
+        assert max_ulp_diff(y, x) == 1.0
+
+    def test_signed_zero_coincides(self):
+        neg = np.array([-0.0], dtype=np.float64)
+        pos = np.array([0.0], dtype=np.float64)
+        assert max_ulp_diff(neg, pos) == 0.0
+
+    def test_crossing_zero_counts_both_sides(self):
+        x = np.array([np.nextafter(0.0, -1.0)], dtype=np.float64)
+        y = np.array([np.nextafter(0.0, 1.0)], dtype=np.float64)
+        assert max_ulp_diff(x, y) == 2.0
+
+    def test_float32_supported(self):
+        x = np.array([1.0], dtype=np.float32)
+        y = np.nextafter(x, np.float32(np.inf))
+        assert max_ulp_diff(x, y) == 1.0
+
+    def test_integer_dtype_is_absolute_difference(self):
+        x = np.array([5, -3], dtype=np.int32)
+        y = np.array([5, -1], dtype=np.int32)
+        assert max_ulp_diff(x, y) == 2.0
+
+    def test_matching_nans_are_zero_one_sided_nan_is_inf(self):
+        both = np.array([np.nan], dtype=np.float64)
+        assert max_ulp_diff(both, both.copy()) == 0.0
+        one = np.array([1.0], dtype=np.float64)
+        assert max_ulp_diff(both, one) == np.inf
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            ulp_diff(
+                np.zeros(2, dtype=np.float32), np.zeros(2, dtype=np.float64)
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ulp_diff(
+                np.zeros(2, dtype=np.float64), np.zeros(3, dtype=np.float64)
+            )
+
+    def test_within_tolerance_applies_pinned_budget(self):
+        x = np.array([1.0], dtype=np.float64)
+        drifted = x.copy()
+        for _ in range(ULP_TOLERANCE[DataType.DOUBLE] + 1):
+            drifted = np.nextafter(drifted, np.inf)
+        ok, worst = within_tolerance(DataType.DOUBLE, x, x.copy())
+        assert ok and worst == 0.0
+        ok, worst = within_tolerance(DataType.DOUBLE, drifted, x)
+        assert not ok and worst == ULP_TOLERANCE[DataType.DOUBLE] + 1
+
+    def test_int_budget_is_exactness(self):
+        assert ULP_TOLERANCE[DataType.INT] == 0
+
+    def test_reduction_budget_scales_with_terms_and_has_floor(self):
+        assert reduction_ulps(1) == 8
+        assert reduction_ulps(1024) == 2048
+
+
+class TestCheckPoint:
+    @pytest.mark.parametrize("kernel", list(KernelName))
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_every_kernel_dtype_conforms(self, kernel, dtype):
+        verdict = check_point(
+            TuningParameters(kernel=kernel, dtype=dtype, array_bytes=2048)
+        )
+        assert verdict.ok, verdict.describe()
+        assert verdict.max_ulp == 0.0  # interpreter matches numpy bitwise today
+
+    def test_strided_and_unrolled_variants_conform(self):
+        verdict = check_point(
+            TuningParameters(
+                kernel=KernelName.TRIAD,
+                dtype=DataType.DOUBLE,
+                array_bytes=2048,
+                pattern=AccessPattern.STRIDED,
+                loop=LoopManagement.FLAT,
+                unroll=4,
+            )
+        )
+        assert verdict.ok, verdict.describe()
+
+    def test_checksum_is_content_sensitive(self):
+        params = TuningParameters(array_bytes=1024)
+        out = interpret_point(params)
+        base = output_checksum(out)
+        out["c"][3] += 1
+        assert output_checksum(out) != base
+
+    def test_checksum_is_dtype_sensitive(self):
+        a = {n: np.zeros(4, dtype=np.int32) for n in ("a", "b", "c")}
+        b = {n: np.zeros(4, dtype=np.float32) for n in ("a", "b", "c")}
+        assert output_checksum(a) != output_checksum(b)
+
+
+class TestVariantConformance:
+    def test_variant_grid_covers_loops_widths_and_patterns(self):
+        points = variant_grid(KernelName.COPY, DataType.INT, 4096)
+        assert len(points) >= 10
+        assert {p.loop for p in points} == set(LoopManagement)
+        assert {p.vector_width for p in points} >= {1, 2, 4, 8}
+        assert AccessPattern.STRIDED in {p.pattern for p in points}
+
+    @pytest.mark.parametrize("dtype", [DataType.INT, DataType.DOUBLE])
+    def test_all_variants_agree(self, dtype):
+        report = check_variants(KernelName.TRIAD, dtype, 4096)
+        assert report.ok, report.describe()
+        assert report.agree
+        # unanimity means one checksum across every variant
+        assert len({v.checksum for v in report.verdicts}) == 1
+
+
+class TestVerifyDeviceOutputs:
+    def _observed(self, params):
+        initial = initial_arrays(params.word_count, params.dtype)
+        return generate(params), interpret_point(params, initial=initial)
+
+    def test_clean_point_passes_differential_mode(self):
+        params = TuningParameters(
+            kernel=KernelName.SCALE, dtype=DataType.DOUBLE, array_bytes=2048
+        )
+        gen, observed = self._observed(params)
+        verdict = verify_device_outputs(params, gen, observed)
+        assert verdict["ok"] and verdict["mode"] == "differential"
+        assert verdict["error"] == ""
+
+    def test_large_point_uses_reference_mode(self):
+        params = TuningParameters(array_bytes=(INTERP_WORD_LIMIT + 1) * 4)
+        gen = generate(params)
+        initial = initial_arrays(params.word_count, params.dtype)
+        observed = {"a": initial["a"], "b": initial["b"], "c": initial["a"].copy()}
+        verdict = verify_device_outputs(params, gen, observed)
+        assert verdict["ok"] and verdict["mode"] == "reference"
+
+    def test_corrupted_device_output_is_flagged(self):
+        params = TuningParameters(
+            kernel=KernelName.ADD, dtype=DataType.INT, array_bytes=2048
+        )
+        gen, observed = self._observed(params)
+        observed["c"][7] ^= 1
+        verdict = verify_device_outputs(params, gen, observed)
+        assert not verdict["ok"]
+        assert "device array" in verdict["error"]
+
+    def test_miscompile_hook_corrupts_derived_side(self):
+        params = TuningParameters(array_bytes=2048)
+        gen, observed = self._observed(params)
+
+        def corrupt(arrays):
+            arrays["c"][0] ^= np.int32(255)
+            return True
+
+        verdict = verify_device_outputs(params, gen, observed, corrupt=corrupt)
+        assert not verdict["ok"] and verdict["corrupted"]
+
+    def test_verdict_is_deterministic_json(self):
+        params = TuningParameters(array_bytes=2048)
+        gen, observed = self._observed(params)
+        a = verify_device_outputs(params, gen, observed)
+        b = verify_device_outputs(params, gen, observed)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        # every value survives a JSON round trip unchanged
+        assert json.loads(json.dumps(a)) == a
+
+
+class TestFuzz:
+    def test_seeded_random_points_all_conform(self):
+        rng = make_rng(2024)
+        for _ in range(25):
+            params = random_point(rng)
+            verdict = check_point(params)
+            if not verdict.ok:  # pragma: no cover - only on regression
+                shrunk = shrink_failure(
+                    params, lambda p: not check_point(p).ok
+                )
+                pytest.fail(
+                    "conformance fuzz failure; offending ParamPoint "
+                    f"(shrunk): {shrunk.describe()!r} "
+                    f"from {params.describe()!r}: {verdict.describe()}"
+                )
+
+    def test_random_points_are_always_valid(self):
+        rng = make_rng(7)
+        for _ in range(50):
+            random_point(rng)  # TuningParameters validates on construction
+
+    def test_shrink_reaches_minimal_point_when_everything_fails(self):
+        start = TuningParameters(
+            kernel=KernelName.TRIAD,
+            dtype=DataType.DOUBLE,
+            array_bytes=16384,
+            vector_width=8,
+            pattern=AccessPattern.STRIDED,
+            loop=LoopManagement.FLAT,
+            unroll=4,
+            use_vload=True,
+        )
+        shrunk = shrink_failure(start, lambda p: True)
+        assert shrunk.array_bytes == 1024
+        assert shrunk.vector_width == 1
+        assert shrunk.unroll == 1
+        assert shrunk.pattern is AccessPattern.CONTIGUOUS
+        assert shrunk.loop is LoopManagement.NDRANGE
+        assert not shrunk.use_vload
+
+    def test_shrink_preserves_the_failing_property(self):
+        start = TuningParameters(
+            kernel=KernelName.TRIAD,
+            dtype=DataType.DOUBLE,
+            array_bytes=8192,
+            vector_width=4,
+            loop=LoopManagement.FLAT,
+            unroll=2,
+        )
+        # a "bug" that only reproduces on FLAT loops: the shrink must
+        # simplify everything else but keep the loop mode
+        shrunk = shrink_failure(start, lambda p: p.loop is LoopManagement.FLAT)
+        assert shrunk.loop is LoopManagement.FLAT
+        assert shrunk.array_bytes == 1024
+        assert shrunk.vector_width == 1
+
+    def test_shrink_skips_invalid_intermediate_combinations(self):
+        start = TuningParameters(
+            loop=LoopManagement.NESTED, unroll=4, array_bytes=4096
+        )
+        shrunk = shrink_failure(start, lambda p: p.unroll == 4)
+        # unroll=4 must survive, which rules out the NDRANGE step
+        # (NDRange kernels cannot unroll)
+        assert shrunk.unroll == 4
+        assert shrunk.loop is not LoopManagement.NDRANGE

@@ -1,0 +1,144 @@
+"""Golden regression corpus: determinism, round-trips, drift detection,
+and agreement of the checked-in corpus with current behaviour."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.history import point_fingerprint
+from repro.core.runner import BenchmarkRunner
+from repro.errors import BenchmarkError
+from repro.verify import (
+    DEFAULT_GOLDEN_PATH,
+    compute_corpus,
+    corpus_grid,
+    diff_corpus,
+    format_drift,
+    interpret_point,
+    load_corpus,
+    output_checksum,
+    save_corpus,
+)
+from repro.verify.golden import GOLDEN_SCHEMA, _result_sha
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCorpusGrid:
+    def test_grid_covers_all_targets_and_both_dtypes(self):
+        grid = corpus_grid()
+        targets = {t for t, _ in grid}
+        assert targets == {"cpu", "gpu", "aocl", "sdaccel"}
+        assert len(grid) == 32
+        assert {p.dtype.cname for _, p in grid} == {"int", "double"}
+        assert {p.vector_width for _, p in grid} == {1, 4}
+
+    def test_grid_keys_are_unique(self):
+        grid = corpus_grid()
+        keys = [point_fingerprint(t, p) for t, p in grid]
+        assert len(set(keys)) == len(keys)
+
+
+class TestComputeAndRoundTrip:
+    def test_corpus_is_deterministic(self):
+        small = corpus_grid(("cpu",))
+        a = compute_corpus(small)
+        b = compute_corpus(small)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_save_load_round_trip(self, tmp_path):
+        corpus = compute_corpus(corpus_grid(("cpu",)))
+        path = tmp_path / "corpus.json"
+        save_corpus(path, corpus)
+        assert load_corpus(path) == corpus
+        # byte-stable serialization
+        first = path.read_bytes()
+        save_corpus(path, load_corpus(path))
+        assert path.read_bytes() == first
+
+    def test_load_missing_corpus_explains_the_fix(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="update-golden"):
+            load_corpus(tmp_path / "absent.json")
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps({"schema": GOLDEN_SCHEMA + 1, "entries": {}}))
+        with pytest.raises(BenchmarkError, match="schema"):
+            load_corpus(path)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchmarkError, match="not valid JSON"):
+            load_corpus(path)
+
+
+class TestDrift:
+    def _two(self):
+        grid = corpus_grid(("cpu",))
+        return compute_corpus(grid), compute_corpus(grid)
+
+    def test_identical_corpora_are_clean(self):
+        a, b = self._two()
+        diff = diff_corpus(a, b)
+        assert diff.clean
+        assert "clean" in format_drift(diff, a, b)
+
+    def test_changed_field_is_reported_with_old_and_new(self):
+        a, b = self._two()
+        key = next(iter(b["entries"]))
+        b["entries"][key]["bandwidth_gbs"] = 123.456
+        diff = diff_corpus(a, b)
+        assert not diff.clean and list(diff.changed) == [key]
+        (field, old, new), *_ = diff.changed[key]
+        assert field == "bandwidth_gbs" and new == 123.456 and old != new
+        drift = format_drift(diff, a, b)
+        assert f"-   bandwidth_gbs = {old}" in drift
+        assert "+   bandwidth_gbs = 123.456" in drift
+
+    def test_added_and_removed_entries_are_reported(self):
+        a, b = self._two()
+        key = next(iter(b["entries"]))
+        moved = b["entries"].pop(key)
+        b["entries"]["ffffffffffffffff"] = moved
+        diff = diff_corpus(a, b)
+        assert diff.removed == (key,)
+        assert diff.added == ("ffffffffffffffff",)
+        drift = format_drift(diff, a, b)
+        assert "entry removed" in drift and "not in corpus" in drift
+
+
+class TestCheckedInCorpus:
+    """The committed tests/golden/corpus.json matches current behaviour."""
+
+    @pytest.fixture(scope="class")
+    def pinned(self):
+        return load_corpus(REPO_ROOT / DEFAULT_GOLDEN_PATH)
+
+    def test_corpus_exists_with_expected_schema_and_size(self, pinned):
+        assert pinned["schema"] == GOLDEN_SCHEMA
+        assert len(pinned["entries"]) == 32
+
+    def test_cpu_entries_match_recomputation(self, pinned):
+        # recompute just the cpu slice (keeps the test fast); the CI
+        # verify job covers the full grid
+        grid = corpus_grid(("cpu",))
+        current = compute_corpus(grid)
+        for key, entry in current["entries"].items():
+            assert key in pinned["entries"], f"{entry['params']} not pinned"
+            assert pinned["entries"][key] == entry, (
+                f"drift at {entry['params']}: "
+                f"{pinned['entries'][key]} != {entry}"
+            )
+
+    def test_result_sha_tracks_fingerprint(self, pinned):
+        target, params = corpus_grid(("cpu",))[0]
+        result = BenchmarkRunner(target, ntimes=2).run(params)
+        key = point_fingerprint(target, params)
+        assert pinned["entries"][key]["result_sha"] == _result_sha(
+            result.fingerprint()
+        )
+        assert pinned["entries"][key]["output_sha"] == output_checksum(
+            interpret_point(params)
+        )
