@@ -251,6 +251,49 @@ def build_parser() -> argparse.ArgumentParser:
         "injection (e.g. 'verify=1.0,seed=7'); injected verify-site "
         "miscompiles must surface as 'verify_mismatch' data points",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="fast-lane microbenchmarks: time the vectorized hot paths "
+        "against their scalar oracles, emit BENCH_PERF.json and gate "
+        "against a previous report",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads and fewer repeats (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--only",
+        metavar="NAME[,NAME...]",
+        default=None,
+        help="run only these benchmarks (comma-separated)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_PERF.json",
+        help="where to write the report (default: BENCH_PERF.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="report to compare against (default: the previous --out "
+        "file, when one exists)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="tolerated regression in percent (default: 25)",
+    )
+    bench.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="write the report without gating against any baseline",
+    )
     return parser
 
 
@@ -807,6 +850,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if regressed else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .perf import compare, format_report, load_report, run_benchmarks, save_report
+
+    only = args.only.split(",") if args.only else None
+    baseline = None
+    baseline_path = args.baseline
+    if not args.no_compare:
+        if baseline_path is None and Path(args.out).exists():
+            baseline_path = args.out
+        if baseline_path is not None:
+            baseline = load_report(baseline_path)
+    report = run_benchmarks(quick=args.quick, only=only)
+    print(format_report(report))
+    problems = [] if args.no_compare else compare(
+        report, baseline, threshold=args.threshold / 100.0
+    )
+    save_report(report, args.out)
+    print(f"wrote {args.out}")
+    if baseline_path is not None and not args.no_compare:
+        print(f"compared against {baseline_path} (threshold {args.threshold:g}%)")
+    for problem in problems:
+        print(f"REGRESSION: {problem}")
+    return 1 if problems else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -823,6 +893,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "gpustream": _cmd_gpustream,
         "selfcheck": _cmd_selfcheck,
         "verify": _cmd_verify,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

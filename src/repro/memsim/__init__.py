@@ -21,8 +21,14 @@ from .access import (
     column_major_stream,
     to_byte_addresses,
 )
-from .cache import Cache, CacheConfig, streaming_hit_ratio
-from .coalesce import CoalesceResult, coalesce_fixed_groups, coalesce_sequential
+from .cache import BATCH_THRESHOLD, Cache, CacheConfig, streaming_hit_ratio
+from .coalesce import (
+    CoalesceResult,
+    coalesce_fixed_groups,
+    coalesce_fixed_groups_batch,
+    coalesce_sequential,
+    coalesce_sequential_batch,
+)
 from .controller import MemoryController, StreamDemand
 from .dram import DramSpec, DramTiming, simulate_dram, row_locality_efficiency
 from .pcie import PcieLink
@@ -32,12 +38,15 @@ __all__ = [
     "strided_stream",
     "column_major_stream",
     "to_byte_addresses",
+    "BATCH_THRESHOLD",
     "Cache",
     "CacheConfig",
     "streaming_hit_ratio",
     "CoalesceResult",
     "coalesce_fixed_groups",
+    "coalesce_fixed_groups_batch",
     "coalesce_sequential",
+    "coalesce_sequential_batch",
     "MemoryController",
     "StreamDemand",
     "DramSpec",

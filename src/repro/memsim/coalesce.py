@@ -24,7 +24,13 @@ import numpy as np
 
 from ..errors import InvalidValueError
 
-__all__ = ["CoalesceResult", "coalesce_fixed_groups", "coalesce_sequential"]
+__all__ = [
+    "CoalesceResult",
+    "coalesce_fixed_groups",
+    "coalesce_fixed_groups_batch",
+    "coalesce_sequential",
+    "coalesce_sequential_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +90,48 @@ def coalesce_fixed_groups(
     )
 
 
+def coalesce_fixed_groups_batch(
+    addresses: np.ndarray,
+    element_bytes: int,
+    *,
+    group_size: int = 32,
+    segment_bytes: int = 128,
+) -> list[CoalesceResult]:
+    """Coalesce a ``(windows, accesses)`` stack of warps in one pass.
+
+    Equivalent to calling :func:`coalesce_fixed_groups` per row, but a
+    single vectorized sort/scan over the whole stack — the fast lane a
+    sweep uses when it scores many candidate access windows at once.
+    """
+    if element_bytes <= 0 or group_size <= 0 or segment_bytes <= 0:
+        raise InvalidValueError("element/group/segment sizes must be positive")
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.ndim != 2:
+        raise InvalidValueError("batched coalescing expects a 2-D address stack")
+    rows, n = addrs.shape
+    if n == 0:
+        return [CoalesceResult(0, 0, 0, 0)] * rows
+    segments = addrs // segment_bytes
+    pad = (-n) % group_size
+    if pad:
+        tail = np.repeat(segments[:, -1:], pad, axis=1)
+        segments = np.concatenate([segments, tail], axis=1)
+    grouped = segments.reshape(rows, -1, group_size)
+    s = np.sort(grouped, axis=2)
+    distinct = 1 + np.count_nonzero(s[:, :, 1:] != s[:, :, :-1], axis=2)
+    per_row = distinct.sum(axis=1)
+    useful = n * element_bytes
+    return [
+        CoalesceResult(
+            accesses=n,
+            transactions=int(t),
+            bytes_useful=useful,
+            bytes_fetched=int(t) * segment_bytes,
+        )
+        for t in per_row
+    ]
+
+
 def coalesce_sequential(
     addresses: np.ndarray,
     element_bytes: int,
@@ -122,3 +170,46 @@ def coalesce_sequential(
         bytes_useful=useful,
         bytes_fetched=useful,
     )
+
+
+def coalesce_sequential_batch(
+    addresses: np.ndarray,
+    element_bytes: int,
+    *,
+    max_burst_bytes: int = 512,
+) -> list[CoalesceResult]:
+    """Burst-infer a ``(windows, accesses)`` stack of streams in one pass.
+
+    Equivalent to calling :func:`coalesce_sequential` per row. A forced
+    break at every row start keeps runs from crossing window boundaries,
+    so the whole stack flattens into one run-detection scan.
+    """
+    if element_bytes <= 0 or max_burst_bytes < element_bytes:
+        raise InvalidValueError(
+            "element size must be positive and fit within the burst limit"
+        )
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.ndim != 2:
+        raise InvalidValueError("batched coalescing expects a 2-D address stack")
+    rows, n = addrs.shape
+    if n == 0:
+        return [CoalesceResult(0, 0, 0, 0)] * rows
+    max_run = max(1, max_burst_bytes // element_bytes)
+    breaks = np.empty((rows, n), dtype=bool)
+    breaks[:, 0] = True
+    np.not_equal(np.diff(addrs, axis=1), element_bytes, out=breaks[:, 1:])
+    flat = breaks.ravel()
+    run_starts = np.flatnonzero(flat)
+    run_lengths = np.diff(np.append(run_starts, rows * n))
+    per_run = 1 + (run_lengths - 1) // max_run
+    per_row = np.bincount(run_starts // n, weights=per_run, minlength=rows)
+    useful = n * element_bytes
+    return [
+        CoalesceResult(
+            accesses=n,
+            transactions=int(t),
+            bytes_useful=useful,
+            bytes_fetched=useful,
+        )
+        for t in per_row
+    ]

@@ -88,12 +88,10 @@ class Hierarchy:
             if current.size == 0:
                 served.append(0)
                 continue
-            line = level.config.line_bytes
-            lines = current >> int(np.log2(line))
-            stats = cache.access(current)
+            # one pass yields both the stats and the miss stream: the
+            # next level sees the first access to each missing line
+            stats, miss_mask = cache.access_masked(current)
             served.append(stats.hits)
-            # build the miss stream: first access to each missing line
-            miss_mask = _miss_mask(lines, level.config)
             current = current[miss_mask]
         served.append(int(current.size))
         return HierarchyStats(

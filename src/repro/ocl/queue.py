@@ -338,8 +338,8 @@ class CommandQueue:
         local_size: tuple[int, ...] | None,
         call_args: dict[str, object],
     ) -> None:
+        from ..oclc.compile import CompiledKernel, compile_kernel
         from ..oclc.interp import KernelInterpreter
-        from ..oclc.specialize import specialize
 
         checked = kernel.program.checked
         assert checked is not None
@@ -347,17 +347,20 @@ class CommandQueue:
         runner = self._specialized_cache.get(cache_key)
         if runner is None:
             try:
-                runner = specialize(checked, kernel.name)
+                runner = compile_kernel(checked, kernel.name)
             except UnsupportedKernelError:
                 runner = KernelInterpreter(checked, kernel.name)
             self._specialized_cache[cache_key] = runner
+        lane = "compiled" if isinstance(runner, CompiledKernel) else "interpreted"
         try:
             runner.run(global_size, call_args, local_size)
         except UnsupportedKernelError:
             # Shape turned out unsupported at run time: fall back once.
+            lane = "interpreted"
             interp = KernelInterpreter(checked, kernel.name)
             self._specialized_cache[cache_key] = interp
             interp.run(global_size, call_args, local_size)
+        obs_metrics.count(f"fastpath.runs.{lane}")
 
     # -- bookkeeping ----------------------------------------------------------------
 

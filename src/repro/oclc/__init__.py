@@ -23,6 +23,7 @@ from typing import Mapping
 
 from .analysis import KernelIR, LoopMode, MemAccess, analyze, classify_stride, index_stream
 from .cast import TranslationUnit, to_source
+from .compile import CompiledKernel, compile_kernel
 from .fold import fold_expr, fold_stmt, fold_unit
 from .interp import BufferArg, KernelInterpreter, run_kernel
 from .lexer import tokenize
@@ -42,6 +43,8 @@ __all__ = [
     "clear_frontend_cache",
     "analyze",
     "specialize",
+    "compile_kernel",
+    "CompiledKernel",
     "run_kernel",
     "BufferArg",
     "KernelInterpreter",

@@ -318,42 +318,8 @@ class SpecializedKernel:
                 "specialized execution supports 1-D NDRanges only"
             )
         n_items = int(global_size[0])
-        domain: list[tuple[str, np.ndarray]] = []
-        if self.ir.loop_mode is LoopMode.NDRANGE or self.ir.gid_vars:
-            domain.append(("gid0", np.arange(n_items, dtype=np.int64)))
-        elif n_items != 1:
-            # single work-item kernel launched with >1 items: every item
-            # does identical work; semantics equal running once.
-            domain.append(("gid0", np.arange(n_items, dtype=np.int64)))
-        for loop in self.ir.loops:
-            domain.append(
-                (loop.var, np.arange(loop.start, loop.bound, loop.step, dtype=np.int64))
-            )
-        if not domain:
-            domain = [("gid0", np.arange(n_items, dtype=np.int64))]
-
-        sizes = [len(v) for _, v in domain]
-        total = int(np.prod(sizes))
-        flat = np.arange(total, dtype=np.int64)
-        env: dict[str, object] = {}
-        rem = flat
-        for var, values in reversed(domain):
-            env[var] = values[rem % len(values)]
-            rem = rem // len(values)
-
-        buffers: dict[str, tuple[np.ndarray, T.Type]] = {}
-        param_types = self.program.param_types[self.ir.name]
-        for name, ty in param_types.items():
-            if name not in args:
-                raise UnsupportedKernelError(f"missing kernel argument {name!r}")
-            value = args[name]
-            if isinstance(ty, T.PointerType):
-                if not isinstance(value, BufferArg):
-                    raise UnsupportedKernelError(f"argument {name!r} must be a BufferArg")
-                buffers[name] = (value.array, ty.pointee)
-            else:
-                env[name] = _coerce_scalar(value, ty)
-
+        env = build_domain_env(self.ir, n_items)
+        buffers = bind_arguments(self.program, self.ir, args, env)
         evaluator = _VecEval(self.program, env, buffers, n_items)
         for decl in self._body.outer_decls:
             evaluator.exec_decl(decl)
@@ -397,6 +363,209 @@ _MATH_IMPL = {
     "mul24": lambda a, b: a * b,
     "mad24": lambda a, b, c: a * b + c,
 }
+
+_CMP_IMPL = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    ">": np.greater,
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+}
+
+_ARITH_IMPL = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+    "<<": np.left_shift,
+    ">>": np.right_shift,
+}
+
+
+# -- shared vectorized semantics ------------------------------------------------
+#
+# Module-level so the compiled-closure lane (repro.oclc.compile) executes
+# the *same* code paths as the tree-walking _VecEval below: one
+# implementation, two drivers, no chance of semantic drift.
+
+
+def align_streams(left: object, right: object) -> tuple[object, object]:
+    """Broadcast a (N,) scalar stream against a (N, w) vector stream."""
+    la = np.asarray(left)
+    ra = np.asarray(right)
+    if la.ndim == 1 and ra.ndim == 2 and la.shape[0] == ra.shape[0]:
+        return la[:, None], ra
+    if ra.ndim == 1 and la.ndim == 2 and ra.shape[0] == la.shape[0]:
+        return la, ra[:, None]
+    return left, right
+
+
+def cast_value(value: object, ty: T.Type) -> object:
+    if isinstance(ty, (T.ScalarType, T.VectorType)):
+        arr = np.asarray(value)
+        if arr.dtype != ty.dtype:
+            with np.errstate(over="ignore", invalid="ignore"):
+                arr = arr.astype(ty.dtype)
+        return arr
+    return value
+
+
+def apply_unary(op: str, value: object, ty: T.Type, line: int) -> object:
+    with np.errstate(over="ignore"):
+        if op == "-":
+            return cast_value(np.negative(value), ty)
+        if op == "+":
+            return value
+        if op == "!":
+            return (np.asarray(value) == 0).astype(np.int32)
+        if op == "~":
+            return cast_value(np.invert(np.asarray(value)), ty)
+    raise UnsupportedKernelError(f"unary {op} at line {line}")
+
+
+def apply_binary(op: str, left: object, right: object, ty: T.Type) -> object:
+    left_a, right_a = align_streams(left, right)
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        if op in ("&&", "||"):
+            lb = np.asarray(left_a) != 0
+            rb = np.asarray(right_a) != 0
+            out = np.logical_and(lb, rb) if op == "&&" else np.logical_or(lb, rb)
+            return out.astype(np.int32)
+        if op in _CMP_IMPL:
+            raw = _CMP_IMPL[op](left_a, right_a)
+            if isinstance(ty, T.VectorType):
+                return -raw.astype(ty.dtype)
+            return raw.astype(np.int32)
+        if op == "/" and not ty.is_float():
+            la = np.asarray(left_a, dtype=np.int64)
+            ra = np.asarray(right_a, dtype=np.int64)
+            raw = (np.sign(la) * np.sign(ra)) * (np.abs(la) // np.abs(ra))
+        elif op == "%":
+            la = np.asarray(left_a, dtype=np.int64)
+            ra = np.asarray(right_a, dtype=np.int64)
+            raw = la - (np.sign(la) * np.sign(ra)) * (np.abs(la) // np.abs(ra)) * ra
+        else:
+            raw = _ARITH_IMPL[op](left_a, right_a)
+        return cast_value(raw, ty)
+
+
+def apply_math(name: str, args: list[object], ty: T.Type) -> object:
+    aligned = args
+    if len(args) == 2:
+        aligned = list(align_streams(args[0], args[1]))
+    with np.errstate(over="ignore", invalid="ignore"):
+        raw = _MATH_IMPL[name](*aligned)
+    return cast_value(raw, ty)
+
+
+def reduce_sum(init: object, value: object) -> object:
+    """Vectorized sum reduction step; wraps exactly like sequential ints."""
+    value = np.asarray(value)
+    with np.errstate(over="ignore", invalid="ignore"):
+        total = value.sum(axis=0, dtype=value.dtype)
+        result = np.asarray(init) + total
+    dtype = np.asarray(init).dtype
+    with np.errstate(over="ignore", invalid="ignore"):
+        return result.astype(dtype) if result.dtype != dtype else result
+
+
+def build_domain_env(ir: KernelIR, n_items: int) -> dict[str, object]:
+    """Flatten the iteration domain into per-variable index arrays."""
+    domain: list[tuple[str, np.ndarray]] = []
+    if ir.loop_mode is LoopMode.NDRANGE or ir.gid_vars:
+        domain.append(("gid0", np.arange(n_items, dtype=np.int64)))
+    elif n_items != 1:
+        # single work-item kernel launched with >1 items: every item
+        # does identical work; semantics equal running once.
+        domain.append(("gid0", np.arange(n_items, dtype=np.int64)))
+    for loop in ir.loops:
+        domain.append(
+            (loop.var, np.arange(loop.start, loop.bound, loop.step, dtype=np.int64))
+        )
+    if not domain:
+        domain = [("gid0", np.arange(n_items, dtype=np.int64))]
+
+    sizes = [len(v) for _, v in domain]
+    total = int(np.prod(sizes))
+    env: dict[str, object] = {}
+    rem = np.arange(total, dtype=np.int64)
+    for var, values in reversed(domain):
+        env[var] = values[rem % len(values)]
+        rem = rem // len(values)
+    return env
+
+
+def bind_arguments(
+    program: CheckedProgram,
+    ir: KernelIR,
+    args: Mapping[str, object],
+    env: dict[str, object],
+) -> dict[str, tuple[np.ndarray, T.Type]]:
+    """Split kernel arguments into buffer bindings and scalar env entries."""
+    buffers: dict[str, tuple[np.ndarray, T.Type]] = {}
+    for name, ty in program.param_types[ir.name].items():
+        if name not in args:
+            raise UnsupportedKernelError(f"missing kernel argument {name!r}")
+        value = args[name]
+        if isinstance(ty, T.PointerType):
+            if not isinstance(value, BufferArg):
+                raise UnsupportedKernelError(f"argument {name!r} must be a BufferArg")
+            buffers[name] = (value.array, ty.pointee)
+        else:
+            env[name] = _coerce_scalar(value, ty)
+    return buffers
+
+
+def buffer_view(
+    buffers: Mapping[str, tuple[np.ndarray, T.Type]], name: str, line: int
+) -> tuple[np.ndarray, T.Type]:
+    if name not in buffers:
+        raise UnsupportedKernelError(f"unknown buffer {name!r} at line {line}")
+    arr, element = buffers[name]
+    if isinstance(element, T.VectorType):
+        width = element.width
+        if arr.size % width:
+            raise UnsupportedKernelError(
+                f"buffer {name!r} size {arr.size} not divisible by vector width {width}"
+            )
+        return arr.reshape(-1, width), element
+    return arr, element
+
+
+def store_to_view(view: np.ndarray, idx: np.ndarray, value: object) -> None:
+    arr = np.asarray(value)
+    if view.ndim == 2 and arr.ndim == 1 and idx.ndim == 1:
+        view[idx] = arr[:, None] if arr.shape[0] == idx.shape[0] else arr
+    else:
+        view[idx] = arr
+
+
+def vector_view(
+    buffers: Mapping[str, tuple[np.ndarray, T.Type]],
+    name: str,
+    width: int,
+    line: int,
+) -> np.ndarray:
+    if name not in buffers:
+        raise UnsupportedKernelError(f"unknown buffer {name!r} at line {line}")
+    arr, _element = buffers[name]
+    if arr.size % width:
+        raise UnsupportedKernelError(
+            f"buffer {name!r} size {arr.size} not divisible by {width}"
+        )
+    return arr.reshape(-1, width)
+
+
+def vector_store(view: np.ndarray, offset: np.ndarray, data: object) -> None:
+    value = np.asarray(data)
+    if value.ndim == 1 and offset.ndim == 1 and value.shape[0] == offset.shape[0]:
+        view[offset] = value[:, None]
+    else:
+        view[offset] = value
 
 
 class _VecEval:
@@ -442,14 +611,7 @@ class _VecEval:
         """
         if var not in self.env:
             raise UnsupportedKernelError(f"reduction variable {var!r} unbound")
-        value = np.asarray(self.eval(value_expr))
-        init = self.env[var]
-        with np.errstate(over="ignore", invalid="ignore"):
-            total = value.sum(axis=0, dtype=value.dtype)
-            result = np.asarray(init) + total
-        dtype = np.asarray(init).dtype
-        with np.errstate(over="ignore", invalid="ignore"):
-            self.env[var] = result.astype(dtype) if result.dtype != dtype else result
+        self.env[var] = reduce_sum(self.env[var], self.eval(value_expr))
 
     def exec_stmt(self, stmt: cast.Stmt) -> None:
         if isinstance(stmt, cast.DeclStmt):
@@ -520,75 +682,14 @@ class _VecEval:
                 f"increment of locals at line {expr.line} is loop-carried state"
             )
         value = self.eval(expr.operand)
-        ty = self.program.type_of(expr)
-        with np.errstate(over="ignore"):
-            if expr.op == "-":
-                return self._cast_to(np.negative(value), ty)
-            if expr.op == "+":
-                return value
-            if expr.op == "!":
-                return (np.asarray(value) == 0).astype(np.int32)
-            if expr.op == "~":
-                return self._cast_to(np.invert(np.asarray(value)), ty)
-        raise UnsupportedKernelError(f"unary {expr.op} at line {expr.line}")
+        return apply_unary(expr.op, value, self.program.type_of(expr), expr.line)
 
     def _binary(self, expr: cast.Binary) -> object:
         left = self.eval(expr.left)
         right = self.eval(expr.right)
-        ty = self.program.type_of(expr)
-        left_a, right_a = self._align(left, right)
-        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
-            if expr.op in ("&&", "||"):
-                lb = np.asarray(left_a) != 0
-                rb = np.asarray(right_a) != 0
-                out = np.logical_and(lb, rb) if expr.op == "&&" else np.logical_or(lb, rb)
-                return out.astype(np.int32)
-            if expr.op in ("==", "!=", "<", ">", "<=", ">="):
-                fn = {
-                    "==": np.equal,
-                    "!=": np.not_equal,
-                    "<": np.less,
-                    ">": np.greater,
-                    "<=": np.less_equal,
-                    ">=": np.greater_equal,
-                }[expr.op]
-                raw = fn(left_a, right_a)
-                if isinstance(ty, T.VectorType):
-                    return (-raw.astype(ty.dtype))
-                return raw.astype(np.int32)
-            if expr.op == "/" and not ty.is_float():
-                la = np.asarray(left_a, dtype=np.int64)
-                ra = np.asarray(right_a, dtype=np.int64)
-                raw = (np.sign(la) * np.sign(ra)) * (np.abs(la) // np.abs(ra))
-            elif expr.op == "%":
-                la = np.asarray(left_a, dtype=np.int64)
-                ra = np.asarray(right_a, dtype=np.int64)
-                raw = la - (np.sign(la) * np.sign(ra)) * (np.abs(la) // np.abs(ra)) * ra
-            else:
-                fn = {
-                    "+": np.add,
-                    "-": np.subtract,
-                    "*": np.multiply,
-                    "/": np.divide,
-                    "&": np.bitwise_and,
-                    "|": np.bitwise_or,
-                    "^": np.bitwise_xor,
-                    "<<": np.left_shift,
-                    ">>": np.right_shift,
-                }[expr.op]
-                raw = fn(left_a, right_a)
-            return self._cast_to(raw, ty)
+        return apply_binary(expr.op, left, right, self.program.type_of(expr))
 
-    @staticmethod
-    def _align(left: object, right: object) -> tuple[object, object]:
-        """Broadcast a (N,) scalar stream against a (N, w) vector stream."""
-        la = np.asarray(left)
-        ra = np.asarray(right)
-        if la.ndim == 1 and ra.ndim == 2 and la.shape[0] == ra.shape[0]:
-            return la[:, None], ra
-        if ra.ndim == 1 and la.ndim == 2 and ra.shape[0] == la.shape[0]:
-            return la, ra[:, None]
-        return left, right
+    _align = staticmethod(align_streams)
 
     def _assign(self, expr: cast.Assign) -> object:
         ty = self.program.type_of(expr.target)
@@ -613,17 +714,7 @@ class _VecEval:
     # -- memory ----------------------------------------------------------------
 
     def _buffer_view(self, name: str, line: int) -> tuple[np.ndarray, T.Type]:
-        if name not in self.buffers:
-            raise UnsupportedKernelError(f"unknown buffer {name!r} at line {line}")
-        arr, element = self.buffers[name]
-        if isinstance(element, T.VectorType):
-            width = element.width
-            if arr.size % width:
-                raise UnsupportedKernelError(
-                    f"buffer {name!r} size {arr.size} not divisible by vector width {width}"
-                )
-            return arr.reshape(-1, width), element
-        return arr, element
+        return buffer_view(self.buffers, name, line)
 
     def _load(self, expr: cast.Index) -> object:
         if not isinstance(expr.base, cast.Ident):
@@ -645,11 +736,7 @@ class _VecEval:
             raise UnsupportedKernelError(
                 f"out-of-bounds store to {target.base.name!r} at line {target.line}"
             )
-        arr = np.asarray(value)
-        if view.ndim == 2 and arr.ndim == 1 and idx.ndim == 1:
-            view[idx] = arr[:, None] if arr.shape[0] == idx.shape[0] else arr
-        else:
-            view[idx] = arr
+        store_to_view(view, idx, value)
 
     def _call(self, expr: cast.Call) -> object:
         name = expr.func
@@ -683,12 +770,7 @@ class _VecEval:
             return defaults[name]
         if name in BUILTIN_MATH_FUNCTIONS:
             args = [self.eval(a) for a in expr.args]
-            aligned = args
-            if len(args) == 2:
-                aligned = list(self._align(args[0], args[1]))
-            with np.errstate(over="ignore", invalid="ignore"):
-                raw = _MATH_IMPL[name](*aligned)
-            return self._cast_to(raw, ty)
+            return apply_math(name, args, ty)
         raise UnsupportedKernelError(f"unsupported call {name!r} at line {expr.line}")
 
     def _vector_memory(self, expr: cast.Call, vec_mem: tuple[str, int]) -> object:
@@ -699,16 +781,7 @@ class _VecEval:
             raise UnsupportedKernelError(
                 f"vload/vstore through a computed pointer at line {expr.line}"
             )
-        if ptr_expr.name not in self.buffers:
-            raise UnsupportedKernelError(
-                f"unknown buffer {ptr_expr.name!r} at line {expr.line}"
-            )
-        arr, _element = self.buffers[ptr_expr.name]
-        if arr.size % width:
-            raise UnsupportedKernelError(
-                f"buffer {ptr_expr.name!r} size {arr.size} not divisible by {width}"
-            )
-        view = arr.reshape(-1, width)
+        view = vector_view(self.buffers, ptr_expr.name, width, expr.line)
         if kind == "load":
             offset = np.asarray(self.eval(expr.args[0]), dtype=np.int64)
         else:
@@ -720,19 +793,7 @@ class _VecEval:
             )
         if kind == "load":
             return view[offset]
-        value = np.asarray(data)
-        if value.ndim == 1 and offset.ndim == 1 and value.shape[0] == offset.shape[0]:
-            view[offset] = value[:, None]
-        else:
-            view[offset] = value
+        vector_store(view, offset, data)
         return None
 
-    @staticmethod
-    def _cast_to(value: object, ty: T.Type) -> object:
-        if isinstance(ty, (T.ScalarType, T.VectorType)):
-            arr = np.asarray(value)
-            if arr.dtype != ty.dtype:
-                with np.errstate(over="ignore", invalid="ignore"):
-                    arr = arr.astype(ty.dtype)
-            return arr
-        return value
+    _cast_to = staticmethod(cast_value)

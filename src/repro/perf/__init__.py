@@ -1,0 +1,35 @@
+"""Performance-regression harness for the fast-lane layer.
+
+``mp-stream bench`` runs the microbenchmarks in
+:mod:`repro.perf.bench`, writes a schema-versioned ``BENCH_PERF.json``
+(:mod:`repro.perf.report`) and compares against a previous report so
+the vectorized fast lanes — whose *correctness* the differential test
+oracles pin — can never silently lose their *speed* either.
+"""
+
+from __future__ import annotations
+
+from .bench import BENCHMARKS, run_benchmarks
+from .report import (
+    BENCH_SCHEMA,
+    MIN_SPEEDUP,
+    compare,
+    environment,
+    format_report,
+    load_report,
+    machine_fingerprint,
+    save_report,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "run_benchmarks",
+    "BENCH_SCHEMA",
+    "MIN_SPEEDUP",
+    "compare",
+    "environment",
+    "format_report",
+    "load_report",
+    "machine_fingerprint",
+    "save_report",
+]

@@ -1,0 +1,305 @@
+"""Fast-lane microbenchmarks: time the hot paths, pin the speedups.
+
+Each benchmark times a *fast lane* against its retained *scalar oracle*
+on identical inputs — the same pairs the differential equivalence suite
+(`tests/test_fastpath_equivalence.py`) proves bit-for-bit identical —
+and reports median/IQR wall times plus the speedup ratio. The ratio is
+the machine-portable number CI gates on; absolute throughput is only
+compared between identical machines (see :mod:`repro.perf.report`).
+
+Benchmarks:
+
+* ``cache_sim`` — exact set-associative LRU simulation of a two-pass
+  unit-stride STREAM walk: scalar per-access loop vs
+  :meth:`~repro.memsim.cache.Cache.access_batch`.
+* ``coalesce`` — warp coalescing + burst inference over thousands of
+  warp-sized windows: per-window calls vs the ``*_batch`` stack forms.
+* ``interp`` — generated triad kernel execution: tree-walking
+  :class:`~repro.oclc.interp.KernelInterpreter` vs the
+  compiled-to-closures :class:`~repro.oclc.compile.CompiledKernel`.
+* ``engine_stages`` — one engine point end to end, with the per-stage
+  split (generate/compile/plan/execute) from ``detail['engine']``.
+* ``sweep_throughput`` — a small cartesian sweep, reported as
+  points/second.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..core import BenchmarkRunner, ParameterSweep, TuningParameters, explore
+from ..core.generator import generate
+from ..core.kernels import KERNELS, SCALAR_Q, initial_arrays
+from ..core.params import DataType, KernelName
+from ..errors import InvalidValueError
+from ..memsim import (
+    Cache,
+    CacheConfig,
+    coalesce_fixed_groups,
+    coalesce_fixed_groups_batch,
+    coalesce_sequential,
+    coalesce_sequential_batch,
+)
+from ..obs import trace as obs_trace
+from ..oclc import compile_kernel, compile_source_cached
+from ..oclc.interp import BufferArg, KernelInterpreter
+from .report import BENCH_SCHEMA, environment
+
+__all__ = ["BENCHMARKS", "run_benchmarks"]
+
+
+def _sample(fn: Callable[[], object], repeats: int) -> list[float]:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _stats(samples: Iterable[float]) -> dict[str, object]:
+    arr = np.sort(np.asarray(list(samples), dtype=np.float64))
+    q1, q3 = np.percentile(arr, [25, 75])
+    return {
+        "median_s": float(np.median(arr)),
+        "min_s": float(arr[0]),
+        "iqr_s": float(q3 - q1),
+        "repeats": int(arr.size),
+    }
+
+
+def _paired(
+    scalar: Callable[[], object],
+    fast: Callable[[], object],
+    *,
+    scalar_repeats: int,
+    fast_repeats: int,
+) -> dict[str, object]:
+    """Time a fast lane against its scalar oracle.
+
+    Both lanes are warmed once, then sampled *interleaved* so a load
+    spike hits them alike. The gated speedup ratio uses each lane's
+    best run (the least-noise estimate of achievable cost, as
+    ``timeit`` recommends); the medians/IQR land in the report for
+    absolute-throughput tracking.
+    """
+    scalar()
+    fast()
+    scalar_samples: list[float] = []
+    fast_samples: list[float] = []
+    rounds = max(scalar_repeats, fast_repeats)
+    for i in range(rounds):
+        if i < scalar_repeats:
+            scalar_samples.extend(_sample(scalar, 1))
+        if i < fast_repeats:
+            fast_samples.extend(_sample(fast, 1))
+    scalar_stats = _stats(scalar_samples)
+    fast_stats = _stats(fast_samples)
+    return {
+        "wall_s": fast_stats,
+        "scalar_s": scalar_stats,
+        "speedup": scalar_stats["min_s"] / fast_stats["min_s"],
+    }
+
+
+# -- cache simulation ---------------------------------------------------------
+
+
+def bench_cache_sim(quick: bool) -> dict[str, object]:
+    n = 120_000 if quick else 240_000
+    passes = 2
+    cfg = CacheConfig(capacity_bytes=64 * 1024, line_bytes=64, ways=8)
+    # the paper's core pattern: a unit-stride multi-pass STREAM walk
+    # over 4-byte (float) words
+    trace = np.tile(np.arange(n // passes, dtype=np.int64) * 4, passes)
+
+    entry = _paired(
+        lambda: Cache(cfg).access_scalar(trace),
+        lambda: Cache(cfg).access_batch(trace),
+        scalar_repeats=3 if quick else 5,
+        fast_repeats=5 if quick else 9,
+    )
+    entry["throughput"] = {
+        "value": trace.size / entry["wall_s"]["median_s"],
+        "unit": "accesses/s",
+    }
+    entry["detail"] = {"accesses": int(trace.size), "num_sets": cfg.num_sets}
+    return entry
+
+
+# -- coalescing ----------------------------------------------------------------
+
+
+def bench_coalesce(quick: bool) -> dict[str, object]:
+    rows, n = (1024 if quick else 4096), 32
+    rng = np.random.default_rng(1234)
+    stack = np.asarray(rng.integers(0, 1 << 20, (rows, n)) * 4, dtype=np.int64)
+
+    def scalar() -> None:
+        for row in stack:
+            coalesce_fixed_groups(row, 4)
+            coalesce_sequential(row, 4)
+
+    def fast() -> None:
+        coalesce_fixed_groups_batch(stack, 4)
+        coalesce_sequential_batch(stack, 4)
+
+    entry = _paired(
+        scalar, fast, scalar_repeats=3 if quick else 5, fast_repeats=5 if quick else 9
+    )
+    entry["throughput"] = {
+        "value": rows / entry["wall_s"]["median_s"],
+        "unit": "windows/s",
+    }
+    entry["detail"] = {"windows": rows, "window_accesses": n}
+    return entry
+
+
+# -- kernel execution ----------------------------------------------------------
+
+
+def bench_interp(quick: bool) -> dict[str, object]:
+    words = 2048 if quick else 4096
+    params = TuningParameters(
+        kernel=KernelName.TRIAD,
+        dtype=DataType.FLOAT,
+        array_bytes=words * 4,
+        vector_width=4,
+    )
+    gen = generate(params)
+    checked = compile_source_cached(
+        gen.source, {k: str(v) for k, v in gen.defines.items()}
+    )
+    initial = initial_arrays(params.word_count, params.dtype)
+    spec = KERNELS[params.kernel]
+
+    def make_call() -> dict[str, object]:
+        arrays = {name: initial[name].copy() for name in ("a", "b", "c")}
+        call: dict[str, object] = {
+            name: BufferArg(arrays[name]) for name in (*spec.reads, spec.writes)
+        }
+        if spec.uses_scalar:
+            call["q"] = SCALAR_Q
+        return call
+
+    interp = KernelInterpreter(checked, gen.kernel_name)
+    compiled = compile_kernel(checked, gen.kernel_name)
+    call = make_call()
+
+    entry = _paired(
+        lambda: interp.run(gen.global_size, call, gen.local_size),
+        lambda: compiled.run(gen.global_size, call, gen.local_size),
+        scalar_repeats=2 if quick else 3,
+        fast_repeats=20 if quick else 50,
+    )
+    entry["throughput"] = {
+        "value": words / entry["wall_s"]["median_s"],
+        "unit": "words/s",
+    }
+    entry["detail"] = {"kernel": "triad", "words": words, "vector_width": 4}
+    return entry
+
+
+# -- engine / end-to-end -------------------------------------------------------
+
+
+def bench_engine_stages(quick: bool) -> dict[str, object]:
+    params = TuningParameters(
+        kernel=KernelName.TRIAD,
+        dtype=DataType.FLOAT,
+        array_bytes=(64 if quick else 256) * 1024,
+        vector_width=4,
+    )
+
+    stage_samples: dict[str, list[float]] = {}
+    walls: list[float] = []
+
+    def one_point() -> None:
+        runner = BenchmarkRunner("cpu", ntimes=2)
+        t0 = time.perf_counter()
+        result = runner.run(params)
+        walls.append(time.perf_counter() - t0)
+        for stage, seconds in result.detail["engine"]["stage_s"].items():
+            stage_samples.setdefault(stage, []).append(seconds)
+
+    repeats = 3 if quick else 5
+    for _ in range(repeats):
+        one_point()
+
+    return {
+        "wall_s": _stats(walls),
+        "detail": {
+            "stage_s": {
+                stage: _stats(samples) for stage, samples in sorted(stage_samples.items())
+            }
+        },
+    }
+
+
+def bench_sweep_throughput(quick: bool) -> dict[str, object]:
+    base = TuningParameters(
+        kernel=KernelName.TRIAD,
+        dtype=DataType.FLOAT,
+        array_bytes=64 * 1024,
+        vector_width=1,
+    )
+    axes: dict[str, list[object]] = {"vector_width": [1, 2, 4]}
+    if not quick:
+        axes["kernel"] = [KernelName.COPY, KernelName.TRIAD]
+    sweep = ParameterSweep(base=base, axes=axes)
+
+    walls: list[float] = []
+
+    def one_sweep() -> None:
+        runner = BenchmarkRunner("cpu", ntimes=2)
+        t0 = time.perf_counter()
+        results = explore(runner, sweep)
+        walls.append(time.perf_counter() - t0)
+        if any(not r.ok for r in results):
+            raise InvalidValueError("sweep benchmark produced failing points")
+
+    repeats = 2 if quick else 3
+    for _ in range(repeats):
+        one_sweep()
+
+    entry: dict[str, object] = {"wall_s": _stats(walls)}
+    entry["throughput"] = {
+        "value": len(sweep) / entry["wall_s"]["median_s"],  # type: ignore[index]
+        "unit": "points/s",
+    }
+    entry["detail"] = {"points": len(sweep)}
+    return entry
+
+
+BENCHMARKS: dict[str, Callable[[bool], dict[str, object]]] = {
+    "cache_sim": bench_cache_sim,
+    "coalesce": bench_coalesce,
+    "interp": bench_interp,
+    "engine_stages": bench_engine_stages,
+    "sweep_throughput": bench_sweep_throughput,
+}
+
+
+def run_benchmarks(
+    *, quick: bool = False, only: Iterable[str] | None = None
+) -> dict[str, object]:
+    """Run the selected benchmarks; returns a schema-versioned report."""
+    names = list(only) if only else list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise InvalidValueError(
+            f"unknown benchmark(s) {unknown}; have {sorted(BENCHMARKS)}"
+        )
+    benchmarks: dict[str, Mapping[str, object]] = {}
+    for name in names:
+        with obs_trace.span(f"bench.{name}", "perf"):
+            benchmarks[name] = BENCHMARKS[name](quick)
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": bool(quick),
+        "env": environment(),
+        "benchmarks": benchmarks,
+    }

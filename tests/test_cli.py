@@ -307,6 +307,7 @@ class TestVerifyCommand:
         assert args.golden is None
         assert not args.update_golden and not args.skip_golden
 
+    @pytest.mark.slow
     def test_verify_small_grid_passes_clean(self, capsys):
         code = main(["verify", "--grid", "small", "--target", "cpu"])
         assert code == 0
@@ -339,6 +340,7 @@ class TestVerifyCommand:
         assert "verify_mismatch" in out
         assert "FAIL" not in out
 
+    @pytest.mark.slow
     def test_update_golden_writes_corpus(self, tmp_path, capsys):
         golden = tmp_path / "corpus.json"
         code = main(["verify", "--grid", "small", "--target", "cpu",
@@ -352,6 +354,7 @@ class TestVerifyCommand:
         assert code == 0
         assert "clean (no drift)" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_drift_fails_with_diff_report(self, tmp_path, capsys):
         import json
 
@@ -370,8 +373,64 @@ class TestVerifyCommand:
         assert "drift" in out and "result_sha" in out
         assert "-   result_sha = 0000000000000000" in out
 
+    @pytest.mark.slow
     def test_missing_golden_exits_with_guidance(self, tmp_path, capsys):
         code = main(["verify", "--grid", "small", "--target", "cpu",
                      "--golden", str(tmp_path / "absent.json")])
         assert code == 2
         assert "update-golden" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.quick and not args.no_compare
+        assert args.out == "BENCH_PERF.json"
+        assert args.baseline is None and args.threshold == 25.0
+
+    def test_bench_writes_schema_versioned_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_PERF.json"
+        code = main(["bench", "--quick", "--only", "engine_stages",
+                     "--out", str(out), "--no-compare"])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["schema"] == 1 and report["quick"] is True
+        assert "engine_stages" in report["benchmarks"]
+        assert "python" in report["env"] and "numpy" in report["env"]
+
+    def test_bench_defaults_baseline_to_previous_out(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_PERF.json"
+        argv = ["bench", "--quick", "--only", "engine_stages",
+                "--out", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0  # second run gates against the first
+        assert f"compared against {out}" in capsys.readouterr().out
+
+    def test_bench_fails_on_regression_against_baseline(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "BENCH_PERF.json"
+        assert main(["bench", "--quick", "--only", "sweep_throughput",
+                     "--out", str(out), "--no-compare"]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        # forge a baseline whose throughput the current run can never
+        # reach on the same machine; throughput only gates when machine
+        # fingerprints match, which they do here by construction
+        doc["benchmarks"]["sweep_throughput"]["throughput"]["value"] = 1e18
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(doc))
+        code = main(["bench", "--quick", "--only", "sweep_throughput",
+                     "--out", str(out), "--baseline", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_benchmark(self):
+        code = main(["bench", "--quick", "--only", "nope"])
+        assert code != 0

@@ -10,6 +10,9 @@ from hypothesis import strategies as st
 from repro.errors import OclcError, ReproError
 from repro.oclc import BufferArg, compile_source, parse, run_kernel
 
+# hypothesis fuzzing is the long tail of the suite; tier-1 runs skip it
+pytestmark = pytest.mark.slow
+
 # ---------------------------------------------------------------------------
 # oracle: random integer expressions evaluated by the interpreter must
 # match a numpy int32 evaluation of the same tree

@@ -15,7 +15,6 @@ from repro.core.params import (
     LoopManagement,
     TuningParameters,
 )
-from repro.errors import SweepError
 from repro.rng import make_rng
 from repro.verify import (
     INTERP_WORD_LIMIT,
@@ -209,6 +208,8 @@ class TestVerifyDeviceOutputs:
 
 
 class TestFuzz:
+    pytestmark = pytest.mark.slow
+
     def test_seeded_random_points_all_conform(self):
         rng = make_rng(2024)
         for _ in range(25):

@@ -142,3 +142,55 @@ class TestCheckedInCorpus:
         assert pinned["entries"][key]["output_sha"] == output_checksum(
             interpret_point(params)
         )
+
+
+class TestCorpusMutation:
+    """Byte-level tamper detection on the checked-in corpus.
+
+    Flip a single byte of one pinned checksum in a tmp copy and demand
+    ``diff_corpus`` reports exactly that entry, exactly that field —
+    proof the drift detector's resolution is one field of one entry.
+    """
+
+    def test_single_flipped_checksum_byte_is_pinpointed(self, tmp_path):
+        pinned_path = REPO_ROOT / DEFAULT_GOLDEN_PATH
+        pinned = load_corpus(pinned_path)
+
+        # pick a deterministic victim and flip one byte of its
+        # result_sha in the serialized file, not the parsed dict
+        victim = sorted(pinned["entries"])[0]
+        sha = pinned["entries"][victim]["result_sha"]
+        flipped = ("0" if sha[0] != "0" else "1") + sha[1:]
+        assert flipped != sha
+
+        text = pinned_path.read_text()
+        assert text.count(f'"{sha}"') >= 1
+        mutated_path = tmp_path / "corpus.json"
+        mutated_path.write_text(text.replace(f'"{sha}"', f'"{flipped}"', 1))
+
+        mutated = load_corpus(mutated_path)
+        diff = diff_corpus(pinned, mutated)
+        assert not diff.clean
+        assert diff.added == () and diff.removed == ()
+        assert list(diff.changed) == [victim]
+        assert diff.changed[victim] == [("result_sha", sha, flipped)]
+
+        drift = format_drift(diff, pinned, mutated)
+        assert victim in drift
+        assert f"-   result_sha = {sha}" in drift
+        assert f"+   result_sha = {flipped}" in drift
+
+    def test_flip_in_any_entry_is_isolated_to_that_entry(self, tmp_path):
+        pinned = load_corpus(REPO_ROOT / DEFAULT_GOLDEN_PATH)
+        keys = sorted(pinned["entries"])
+        for victim in (keys[1], keys[-1]):
+            mutated = json.loads(json.dumps(pinned))
+            sha = mutated["entries"][victim]["output_sha"]
+            mutated["entries"][victim]["output_sha"] = sha[:-1] + (
+                "f" if sha[-1] != "f" else "e"
+            )
+            path = tmp_path / f"{victim}.json"
+            save_corpus(path, mutated)
+            diff = diff_corpus(pinned, load_corpus(path))
+            assert list(diff.changed) == [victim]
+            assert [f for f, *_ in diff.changed[victim]] == ["output_sha"]

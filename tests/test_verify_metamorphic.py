@@ -1,9 +1,18 @@
 """Metamorphic invariants: the laws hold, and violations are reported
-as structured pairs of grid points rather than raised exceptions."""
+as structured pairs of grid points rather than raised exceptions.
+
+The negative-path tests deliberately break the model under each law
+(monkeypatched service times, hit rates, launch latencies, fake engine
+results) and demand the law *fires* — a law that cannot catch a broken
+model is not a check, it is decoration."""
+
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.params import AccessPattern, TuningParameters
 from repro.memsim import CacheConfig
+from repro.verify import metamorphic
 from repro.verify.metamorphic import (
     ALL_TARGETS,
     LawReport,
@@ -86,7 +95,7 @@ class TestViolationReporting:
         )
         assert not dirty.ok and "1 violation" in dirty.describe()
 
-    def test_broken_model_produces_violation_not_crash(self):
+    def test_broken_model_produces_violation_not_crash_reversed_strides(self):
         # feed the stride law a deliberately nonsensical stride order by
         # checking a decreasing stride sequence against an analytic
         # function that *is* monotone: reversing the strides makes every
@@ -99,3 +108,131 @@ class TestViolationReporting:
         assert first.law == "hit_rate_stride"
         assert "stride=" in first.left and "stride=" in first.right
         assert first.right_value > first.left_value
+
+
+@dataclass
+class _FakeResult:
+    """The minimal result surface the engine-backed laws consume."""
+
+    params: TuningParameters
+    bandwidth_gbs: float = 1.0
+    moved_bytes: int = 0
+    ok: bool = True
+    error: str | None = None
+
+
+class TestNegativePaths:
+    """Every law must fire on a deliberately broken model."""
+
+    def test_content_invariance_fires_on_value_dependent_latency(
+        self, monkeypatch
+    ):
+        # a model whose launch latency leaks the array *contents* — the
+        # cardinal sin the law exists to catch
+        def leaky(target, params, contents, *, ntimes):
+            return (float(np.abs(contents["a"]).sum()),) * ntimes
+
+        monkeypatch.setattr(metamorphic, "_device_latencies", leaky)
+        report = check_content_invariance(("cpu",))
+        assert not report.ok
+        assert report.violations[0].law == "content_invariance"
+        assert "contents=random" in report.violations[0].right
+
+    def test_contiguous_vs_strided_fires_when_strided_wins(self, monkeypatch):
+        class BrokenRunner:
+            def __init__(self, target, ntimes):
+                pass
+
+            def run(self, params):
+                fast = params.pattern is AccessPattern.STRIDED
+                return _FakeResult(params, bandwidth_gbs=9.0 if fast else 1.0)
+
+        monkeypatch.setattr(metamorphic, "BenchmarkRunner", BrokenRunner)
+        report = check_contiguous_vs_strided(("cpu",))
+        assert not report.ok
+        first = report.violations[0]
+        assert first.law == "contiguous_vs_strided"
+        assert first.right_value > first.left_value
+        assert "strided beat contiguous" in first.detail
+
+    def test_contiguous_vs_strided_fires_on_failing_point(self, monkeypatch):
+        class FailingRunner:
+            def __init__(self, target, ntimes):
+                pass
+
+            def run(self, params):
+                return _FakeResult(params, ok=False, error="device exploded")
+
+        monkeypatch.setattr(metamorphic, "BenchmarkRunner", FailingRunner)
+        report = check_contiguous_vs_strided(("cpu",))
+        assert not report.ok
+        assert "device exploded" in report.violations[0].detail
+
+    def test_bytes_linear_fires_on_sublinear_byte_counting(self, monkeypatch):
+        class SublinearRunner:
+            def __init__(self, target, ntimes):
+                pass
+
+            def run(self, params):
+                # bytes saturate instead of scaling with the array
+                return _FakeResult(
+                    params, moved_bytes=min(params.array_bytes, 20000)
+                )
+
+        monkeypatch.setattr(metamorphic, "BenchmarkRunner", SublinearRunner)
+        report = check_bytes_linear(("cpu",), base_bytes=16384, factors=(2,))
+        assert not report.ok
+        assert report.violations[0].law == "bytes_linear"
+        assert "expected exactly 2x" in report.violations[0].detail
+
+    def test_service_time_fires_on_decreasing_service_time(self, monkeypatch):
+        class BrokenHierarchy:
+            # service time *falls* as stride grows: physically absurd
+            def streaming_service_time(
+                self, *, footprint_bytes, stride_bytes, element_bytes
+            ):
+                return 1.0 / stride_bytes
+
+        monkeypatch.setattr(
+            metamorphic, "_canonical_hierarchy", lambda: BrokenHierarchy()
+        )
+        report = check_service_time_stride(strides=(8, 16, 32))
+        assert not report.ok
+        assert len(report.violations) == 2  # every adjacent pair breaks
+        assert report.violations[0].law == "service_time_stride"
+        assert "larger stride finished faster" in report.violations[0].detail
+
+    def test_hit_rate_stride_fires_on_increasing_hit_rate(self, monkeypatch):
+        monkeypatch.setattr(
+            metamorphic,
+            "streaming_hit_ratio",
+            lambda **kw: kw["stride_bytes"] / 1024.0,
+        )
+        report = check_hit_rate_stride(strides=(8, 64, 512))
+        assert not report.ok
+        assert report.violations[0].law == "hit_rate_stride"
+        assert "larger stride hit more often" in report.violations[0].detail
+
+    def test_hit_rate_passes_fires_when_second_pass_hits_less(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            metamorphic,
+            "streaming_hit_ratio",
+            lambda **kw: 1.0 / kw.get("passes", 1),
+        )
+        report = check_hit_rate_passes(footprints=(16 * 1024,), strides=(8,))
+        assert not report.ok
+        assert report.violations[0].law == "hit_rate_passes"
+        assert "second pass lowered" in report.violations[0].detail
+
+    def test_broken_reports_surface_through_check_all(self, monkeypatch):
+        # check_all must carry a firing law outward, not swallow it
+        monkeypatch.setattr(
+            metamorphic,
+            "streaming_hit_ratio",
+            lambda **kw: kw["stride_bytes"] / 1024.0,
+        )
+        reports = {r.law: r for r in metamorphic.check_all(quick=True)}
+        assert not reports["hit_rate_stride"].ok
+        assert reports["service_time_stride"].ok  # untouched laws still pass
