@@ -19,8 +19,10 @@ from typing import Sequence
 
 from . import figures, obs
 from .core import (
+    BACKENDS,
     AccessPattern,
     BenchmarkRunner,
+    CampaignScheduler,
     DataType,
     FaultPlan,
     KernelName,
@@ -107,7 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="run sweep points on N worker threads (results stay in grid order)",
+        help="run sweep points on N workers (results stay in grid order)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="execution backend for sweep points (default: thread when "
+        "--jobs > 1, else serial); 'process' survives worker crashes",
+    )
+    sweep.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="requeue a point whose worker crashed up to N times before "
+        "recording it as a 'worker_crash' failure (default: 2)",
     )
     sweep.add_argument("--csv", metavar="PATH")
     sweep.add_argument(
@@ -122,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip points already completed in --journal (restored, not re-run)",
+    )
+    sweep.add_argument(
+        "--durable-journal",
+        action="store_true",
+        help="fsync the journal after every point, so it survives hard "
+        "worker/host kills (slower; implies --journal is trustworthy "
+        "after a crash)",
     )
     sweep.add_argument(
         "--inject-faults",
@@ -178,6 +202,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument("--budget", type=int, default=40, help="max evaluations")
     tune.add_argument("--ntimes", type=int, default=3)
+    tune.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate each axis scan's candidates on N workers "
+        "(the trajectory is unchanged)",
+    )
+    tune.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="execution backend for evaluations (default: thread when "
+        "--jobs > 1, else serial)",
+    )
+    tune.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="stream each evaluation to a resumable JSONL journal",
+    )
+    tune.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore evaluations already in --journal instead of re-running "
+        "them (the trajectory replays identically)",
+    )
 
     energy = sub.add_parser(
         "energy", help="energy-efficiency report for one parameter point"
@@ -508,17 +558,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     axes = dict(_parse_axis(a) for a in args.axis)
     sweep = ParameterSweep(base=base, axes=axes)
     runner = _make_runner(args, args.ntimes)
-    journal = SweepJournal(args.journal) if args.journal else None
+    journal = (
+        SweepJournal(args.journal, durable=args.durable_journal)
+        if args.journal
+        else None
+    )
     with _obs_session(args) as session:
         reporter = obs.SweepProgress(total=len(sweep), verbosity=_verbosity(args))
-        results = explore(
+        # the CLI is a scheduler client like explore()/autotune(): the
+        # scheduler handle is kept so crash/requeue counters can be shown
+        scheduler = CampaignScheduler(
             runner,
-            sweep,
+            backend=args.backend,
             jobs=args.jobs,
-            progress=reporter,
             journal=journal,
             resume=args.resume,
+            progress=reporter,
+            max_worker_restarts=args.max_worker_restarts,
         )
+        points = list(sweep.points())
+        results = scheduler.run(points, skipped=len(sweep.skipped))
         campaign_status = reporter.finish()
     print()
     print(results_table(results))
@@ -533,12 +592,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     stats = runner.engine.stats_snapshot()
     stage_s = stats["stage_s"]
     print(
-        f"\n{len(results)} point(s) on {args.jobs} job(s), "
+        f"\n{len(results)} point(s) on {args.jobs} job(s) "
+        f"({scheduler.backend_used} backend), "
         f"{len(sweep.skipped)} invalid point(s) skipped; "
         f"cache: front-end {stats['frontend_hits']} hit"
         f"/{stats['frontend_misses']} miss, "
         f"plans {stats['plan_hits']} hit/{stats['plan_misses']} miss"
     )
+    if scheduler.crashes or scheduler.deduped or scheduler.progress_errors:
+        print(
+            f"scheduler: {scheduler.crashes} worker crash(es), "
+            f"{scheduler.requeues} requeued, "
+            f"{scheduler.crash_failures} failed on crash, "
+            f"{scheduler.deduped} deduped"
+        )
     print(
         "stage wall time: "
         + ", ".join(f"{name} {stage_s[name]:.3f}s" for name in sorted(stage_s))
@@ -635,10 +702,25 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             "unroll": [1, 2, 4],
         }
     runner = _make_runner(args, args.ntimes)
+    journal = SweepJournal(args.journal) if args.journal else None
     with _obs_session(args) as session:
-        out = autotune(runner, axes, seed=seed, budget=args.budget)
+        out = autotune(
+            runner,
+            axes,
+            seed=seed,
+            budget=args.budget,
+            jobs=args.jobs,
+            backend=args.backend,
+            journal=journal,
+            resume=args.resume,
+        )
     _report_obs(session)
     print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
+    if journal is not None:
+        print(
+            f"journal: {journal.reused} restored, {journal.executed} executed"
+            f" -> {journal.path}"
+        )
     for desc, bw in out.trajectory:
         print(f"  -> {desc}: {bw:.3f} GB/s")
     best = out.best

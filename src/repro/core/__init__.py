@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..faults import FaultPlan, FaultSpec
 from ..ocl.program import BuildCache
 from .autotune import AutotuneResult, autotune
-from .engine import STAGES, EngineStats, ExecutionEngine, Watchdog
+from .engine import STAGES, EngineStats, ExecutionEngine, Watchdog, WorkerSpec
 from .generator import GeneratedKernel, generate
 from .history import (
     CompareEntry,
@@ -48,6 +48,15 @@ from .report import (
 from .results import ResultSet, RunResult
 from .roofline import RooflinePoint, peak_compute_flops, roofline_point
 from .runner import BenchmarkRunner, optimal_loop_for
+from .scheduler import (
+    BACKENDS,
+    CampaignScheduler,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .sweep import ParameterSweep, best_configuration, explore
 from .validate import validate_solution
 
@@ -70,6 +79,14 @@ __all__ = [
     "ExecutionEngine",
     "EngineStats",
     "Watchdog",
+    "WorkerSpec",
+    "CampaignScheduler",
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "FaultPlan",
     "FaultSpec",
     "BuildCache",

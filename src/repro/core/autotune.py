@@ -11,18 +11,33 @@ nothing or the evaluation budget runs out.
 FPGA practitioners will recognize why this matters: every point costs a
 "synthesis" (here: a modelled build that can fail to fit), so a budget
 of tens of evaluations has to beat a cartesian grid of hundreds.
+
+Like :func:`~repro.core.sweep.explore`, the tuner is a thin client of
+the campaign scheduler (:mod:`repro.core.scheduler`): each axis scan is
+scheduled as one batch, which buys the descent loop everything grid
+sweeps already had — journaling and ``resume=`` (an interrupted tuning
+run replays restored evaluations from the journal and continues with
+an identical trajectory), parallel axis scans (``jobs=N`` evaluates a
+scan's fresh candidates concurrently), pluggable backends, and
+crash-requeue resilience — without reimplementing an evaluation loop.
+The trajectory is backend- and parallelism-independent: candidates are
+compared in axis order whatever order they finish in, and ties keep
+the earlier candidate, exactly like the serial scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..errors import SweepError
 from .engine import ExecutionEngine
+from .history import SweepJournal
 from .params import TuningParameters
 from .results import ResultSet, RunResult
 from .runner import BenchmarkRunner
+from .scheduler import CampaignScheduler
 
 __all__ = ["AutotuneResult", "autotune"]
 
@@ -49,12 +64,25 @@ def autotune(
     seed: TuningParameters | None = None,
     budget: int = 50,
     max_rounds: int = 8,
+    jobs: int = 1,
+    backend: str | None = None,
+    journal: SweepJournal | str | Path | None = None,
+    resume: bool = False,
+    max_worker_restarts: int = 2,
 ) -> AutotuneResult:
     """Greedy coordinate descent over ``axes`` starting from ``seed``.
 
     ``axes`` maps :class:`TuningParameters` fields to candidate values
     (each axis should include the seed's value). Points that fail to
     validate or to build count against the budget but never win.
+
+    Each axis scan runs as one scheduler batch: ``jobs``/``backend``
+    parallelize the scan's fresh candidates (the trajectory is
+    unchanged — see the module docstring), and ``journal``/``resume``
+    checkpoint every evaluation so a killed tuning run picks up where
+    it died. Restored evaluations still count against ``budget``,
+    which is what keeps a resumed trajectory identical to an
+    uninterrupted one.
 
     Evaluations go through the staged execution engine, so revisiting a
     neighbourhood (coordinate descent re-scans axes every round) reuses
@@ -63,7 +91,6 @@ def autotune(
     """
     if budget < 1:
         raise SweepError(f"budget must be >= 1, got {budget}")
-    engine = runner.engine if isinstance(runner, BenchmarkRunner) else runner
     valid_fields = set(TuningParameters.__dataclass_fields__)
     unknown = set(axes) - valid_fields
     if unknown:
@@ -71,24 +98,39 @@ def autotune(
     if not axes:
         raise SweepError("autotune needs at least one axis")
 
+    scheduler = CampaignScheduler(
+        runner,
+        backend=backend,
+        jobs=jobs,
+        journal=journal,
+        resume=resume,
+        max_worker_restarts=max_worker_restarts,
+    )
+
     current = seed if seed is not None else TuningParameters()
     evaluations = ResultSet()
     cache: dict[TuningParameters, RunResult] = {}
     spent = 0
 
-    def evaluate(params: TuningParameters) -> RunResult | None:
-        nonlocal spent
-        if params in cache:
-            return cache[params]
-        if spent >= budget:
-            return None
-        spent += 1
-        result = engine.run(params)
-        cache[params] = result
-        evaluations.add(result)
-        return result
+    def evaluate_batch(batch: Sequence[TuningParameters]) -> None:
+        """Schedule the batch's uncached points, up to the budget.
 
-    best = evaluate(current)
+        Mirrors the serial scan's accounting exactly: cache hits are
+        free, fresh points spend budget in axis order, and anything
+        past the cut simply stays unevaluated (the scan below stops at
+        the first missing candidate).
+        """
+        nonlocal spent
+        fresh = [p for p in batch if p not in cache][: budget - spent]
+        if not fresh:
+            return
+        for params, result in zip(fresh, scheduler.run(fresh)):
+            cache[params] = result
+            evaluations.add(result)
+        spent += len(fresh)
+
+    evaluate_batch([current])
+    best = cache.get(current)
     if best is None:  # pragma: no cover - budget >= 1 guarantees one eval
         raise SweepError("budget exhausted before the seed was evaluated")
     trajectory: list[tuple[str, float]] = [
@@ -101,15 +143,18 @@ def autotune(
         improved = False
         rounds += 1
         for axis, values in axes.items():
-            best_here = best
+            candidates = []
             for value in values:
                 if getattr(current, axis) == value:
                     continue
                 try:
-                    candidate = current.with_(**{axis: value})
+                    candidates.append(current.with_(**{axis: value}))
                 except SweepError:
                     continue  # invalid combination: not a legal move
-                result = evaluate(candidate)
+            evaluate_batch(candidates)
+            best_here = best
+            for candidate in candidates:
+                result = cache.get(candidate)
                 if result is None:
                     break  # budget exhausted mid-scan
                 if result.ok and (

@@ -83,7 +83,7 @@ from ..errors import (
     VerifyMismatchError,
     failure_kind,
 )
-from ..faults import FaultPlan, InjectedReadbackFault
+from ..faults import FaultPlan, FaultSpec, InjectedReadbackFault
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -102,7 +102,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..devices.base import ExecutionPlan
     from ..oclc import CheckedProgram
 
-__all__ = ["ExecutionEngine", "EngineStats", "Watchdog", "STAGES"]
+__all__ = ["ExecutionEngine", "EngineStats", "Watchdog", "WorkerSpec", "STAGES"]
 
 #: pipeline stage names, in order ("verify" only runs when enabled)
 STAGES = ("generate", "compile", "plan", "execute", "verify")
@@ -199,6 +199,37 @@ class EngineStats:
                 "stage_s": dict(self.stage_s),
             }
 
+    def merge_snapshot(self, snapshot: dict[str, object]) -> None:
+        """Fold another stats sink's :meth:`snapshot` into this one.
+
+        Worker *threads* share the sink directly, but worker *processes*
+        (the scheduler's process backend) each accumulate into their own
+        and ship a snapshot home at shutdown — this is the receiving
+        end. The merged counters are mirrored into the obs metrics
+        registry in bulk so ``--metrics`` totals stay correct; the
+        per-point stage histograms cannot be reconstructed from an
+        aggregate and are left to the workers that observed them.
+        """
+        points = int(snapshot.get("points", 0) or 0)
+        failures = int(snapshot.get("failures", 0) or 0)
+        retries = int(snapshot.get("retries", 0) or 0)
+        stage_s = snapshot.get("stage_s") or {}
+        with self._lock:
+            self.points += points
+            self.failures += failures
+            self.retries += retries
+            for name, seconds in stage_s.items():  # type: ignore[union-attr]
+                self.stage_s[name] = self.stage_s.get(name, 0.0) + float(seconds)
+        if points:
+            obs_metrics.count("engine.points", points)
+        if failures:
+            obs_metrics.count("engine.failures", failures)
+        if retries:
+            obs_metrics.count("engine.retries", retries)
+        for name, seconds in stage_s.items():  # type: ignore[union-attr]
+            if seconds:
+                obs_metrics.count(f"engine.stage_s.{name}", float(seconds))
+
 
 class _StageClock:
     """Collects wall time per stage for one point."""
@@ -220,6 +251,35 @@ class _StageClock:
                 )
 
         return _Span()
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """A picklable recipe for rebuilding a sibling engine elsewhere.
+
+    :meth:`ExecutionEngine.worker_clone` hands a worker *thread* a
+    sibling sharing the live cache and stats objects; a worker
+    *process* cannot share either, so the scheduler's process backend
+    ships this spec across the ``fork``/``spawn`` boundary instead and
+    calls :meth:`ExecutionEngine.from_worker_spec` on the far side.
+    Faults travel as the declarative :class:`~repro.faults.FaultSpec`
+    (the executable :class:`~repro.faults.FaultPlan` is rebuilt from it,
+    and is a pure function of the spec, so fault decisions are
+    identical in every worker); each worker gets a private build cache
+    and stats sink, merged home via :meth:`EngineStats.merge_snapshot`.
+    """
+
+    device: str
+    ntimes: int
+    warmup: int
+    validate: bool
+    verify: bool
+    cached: bool
+    faults: FaultSpec | None
+    watchdog: Watchdog | None
+    retries: int
+    backoff_s: float
+    backoff_cap_s: float
 
 
 class ExecutionEngine:
@@ -287,6 +347,45 @@ class ExecutionEngine:
             retries=self.retries,
             backoff_s=self.backoff_s,
             backoff_cap_s=self.backoff_cap_s,
+        )
+
+    def worker_spec(self) -> WorkerSpec:
+        """This engine's configuration as a picklable :class:`WorkerSpec`."""
+        return WorkerSpec(
+            device=self.device.short_name,
+            ntimes=self.ntimes,
+            warmup=self.warmup,
+            validate=self.validate,
+            verify=self.verify,
+            cached=self.cache is not None,
+            faults=self.faults.spec if self.faults is not None else None,
+            watchdog=self.watchdog,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            backoff_cap_s=self.backoff_cap_s,
+        )
+
+    @classmethod
+    def from_worker_spec(cls, spec: WorkerSpec) -> "ExecutionEngine":
+        """Rebuild a sibling engine from a spec (in a worker process).
+
+        The sibling gets a *fresh* build cache and stats sink — process
+        workers cannot share the parent's — but byte-identical behavior
+        everywhere else: cache state never changes what a point
+        measures, only how fast it is obtained.
+        """
+        return cls(
+            spec.device,
+            ntimes=spec.ntimes,
+            warmup=spec.warmup,
+            validate=spec.validate,
+            verify=spec.verify,
+            cache=spec.cached,
+            faults=FaultPlan(spec.faults) if spec.faults is not None else None,
+            watchdog=spec.watchdog,
+            retries=spec.retries,
+            backoff_s=spec.backoff_s,
+            backoff_cap_s=spec.backoff_cap_s,
         )
 
     # -- public API -----------------------------------------------------------

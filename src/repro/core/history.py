@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -42,6 +43,10 @@ __all__ = [
     "save_results",
     "load_results",
     "point_fingerprint",
+    "params_to_record",
+    "params_from_record",
+    "result_to_record",
+    "result_from_record",
     "SweepJournal",
     "CompareEntry",
     "compare_results",
@@ -142,6 +147,39 @@ def _result_from_record(record: dict) -> RunResult:
     )
 
 
+# Public aliases of the record codec. The scheduler's process backend
+# ships results and parameters across the worker pipe in exactly this
+# format: the JSON roundtrip is proven fingerprint-stable (it is what
+# journal resume relies on), which is what makes a process-backend
+# campaign byte-identical to a serial one.
+
+
+def params_to_record(p: TuningParameters) -> dict:
+    """Canonical JSON form of a parameter point (wire/journal format)."""
+    return _params_to_json(p)
+
+
+def params_from_record(record: dict) -> TuningParameters:
+    """Inverse of :func:`params_to_record`."""
+    return _params_from_json(record)
+
+
+def result_to_record(r: RunResult, *, detail: bool = True) -> dict:
+    """Canonical JSON form of a result (wire/journal format).
+
+    With ``detail=True`` (the default here, unlike the compact
+    :func:`save_results` files) the record reconstructs a result whose
+    :meth:`~repro.core.results.RunResult.fingerprint` equals the
+    original's.
+    """
+    return _result_to_record(r, detail=detail)
+
+
+def result_from_record(record: dict) -> RunResult:
+    """Inverse of :func:`result_to_record`."""
+    return _result_from_record(record)
+
+
 def save_results(results: Iterable[RunResult], path: str | Path) -> int:
     """Append results to a JSON-lines file; returns the count written.
 
@@ -204,11 +242,19 @@ class SweepJournal:
     Appends are flushed per point under a lock, so a journal written by
     a parallel sweep that is killed mid-campaign loses at most the
     in-flight points; a truncated trailing line is tolerated on load.
+
+    ``durable=True`` additionally ``fsync``\\ s after every append: a
+    flush only hands the line to the OS, which a power loss — or the
+    hard ``os._exit`` a ``worker_crash`` fault injects — can still
+    discard. The process-executor restart path trusts the journal after
+    exactly such kills, so campaigns that lean on it should opt in
+    (``--durable-journal`` on the CLI) and pay the per-point fsync.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *, durable: bool = False):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
         self._lock = threading.Lock()
         #: points restored from the journal instead of re-executed
         self.reused = 0
@@ -248,7 +294,8 @@ class SweepJournal:
         return done
 
     def record(self, key: str, result: RunResult) -> None:
-        """Append one completed point (thread-safe, flushed)."""
+        """Append one completed point (thread-safe, flushed; fsynced
+        when the journal is ``durable``)."""
         record = _result_to_record(result, detail=True)
         record["point"] = key
         record["fingerprint"] = result.fingerprint()
@@ -257,6 +304,8 @@ class SweepJournal:
             with self.path.open("a") as fh:
                 fh.write(line)
                 fh.flush()
+                if self.durable:
+                    os.fsync(fh.fileno())
             self.executed += 1
 
     def note_reused(self, count: int = 1) -> None:

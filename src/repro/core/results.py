@@ -78,7 +78,7 @@ class RunResult:
 
     #: ``detail`` keys describing how a result was *obtained* rather
     #: than what was measured; excluded from :meth:`fingerprint`
-    _PROVENANCE_KEYS = frozenset({"engine", "obs", "verify"})
+    _PROVENANCE_KEYS = frozenset({"engine", "obs", "verify", "scheduler"})
 
     def fingerprint(self) -> str:
         """Deterministic identity of the *measurement*.
@@ -86,14 +86,17 @@ class RunResult:
         Everything the benchmark measured — times, bytes, validation,
         error text, model detail — serialized canonically, with the
         provenance keys (``detail["engine"]``, ``detail["obs"]``,
-        ``detail["verify"]``) excluded: cache outcomes, stage
-        wall-times, observability annotations and verification verdicts
-        describe how a result was *obtained* or *checked* (cold vs
-        cached, serial vs parallel, traced vs untraced, verified vs
+        ``detail["verify"]``, ``detail["scheduler"]``) excluded: cache
+        outcomes, stage wall-times, observability annotations,
+        verification verdicts and scheduler bookkeeping (which backend
+        ran the point, how many worker crashes it survived) describe
+        how a result was *obtained* or *checked* (cold vs cached,
+        serial vs parallel, traced vs untraced, verified vs
         unverified), not what was measured. Two runs of the same point
         must produce equal fingerprints regardless of cache state,
-        executor schedule, or whether :mod:`repro.obs` instrumentation
-        or the :mod:`repro.verify` stage was active.
+        executor backend or schedule, worker restarts, or whether
+        :mod:`repro.obs` instrumentation or the :mod:`repro.verify`
+        stage was active.
         """
         detail = {
             k: v for k, v in self.detail.items() if k not in self._PROVENANCE_KEYS

@@ -1,0 +1,309 @@
+"""The campaign scheduler: backend-agnostic sweep orchestration.
+
+:class:`CampaignScheduler` owns everything about running a batch of
+grid points *except* where they execute: grid-order result assembly,
+deduplication by :func:`~repro.core.history.point_fingerprint`,
+journal-backed checkpoint/resume, the worker-crash requeue policy,
+progress callbacks, and the campaign's obs events/spans/metrics.
+Execution itself is delegated to an :class:`~repro.core.scheduler.executors.Executor`
+(serial / thread / process — see :mod:`repro.core.scheduler.executors`),
+so :func:`repro.core.sweep.explore`, :func:`repro.core.autotune.autotune`
+and the CLI are all thin clients of one scheduling engine.
+
+Crash/requeue policy
+--------------------
+A ``"crash"`` outcome (a worker died mid-point — injectable via the
+``worker_crash`` fault site) is *scheduler* business, not a campaign
+abort: the in-flight point is resubmitted with an incremented restart
+count until ``max_worker_restarts`` is exhausted, at which point it is
+recorded as a deterministic ``"worker_crash"`` failure — a
+data point, like any other per-point failure. All crash bookkeeping
+lives in the fingerprint-excluded ``detail["scheduler"]`` provenance
+key, in obs events (``point_requeued``) and in metrics
+(``scheduler.requeues``, ``scheduler.worker_restarts``,
+``scheduler.queue_depth``), so a campaign's :class:`ResultSet` is
+fingerprint-identical across backends, crash schedules and resumes.
+
+An ``"error"`` outcome — the engine *raised*, which per-point failures
+never do — still aborts the campaign as a
+:class:`~repro.errors.SweepError` naming the grid point: that is an
+engine bug, and requeueing a bug would loop forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ...errors import SweepError
+from ...obs import events as obs_events
+from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
+from ..history import SweepJournal, point_fingerprint
+from ..params import TuningParameters
+from ..results import ResultSet, RunResult
+from ..runner import BenchmarkRunner
+from .executors import BACKENDS, Executor, Task, make_executor
+
+__all__ = ["CampaignScheduler"]
+
+
+class CampaignScheduler:
+    """Orchestrates one campaign's points through a pluggable executor.
+
+    ``backend`` picks an executor by name (``serial|thread|process``);
+    ``None`` keeps the historical auto-selection — threads when
+    ``jobs > 1`` and there is more than one point to run, serial
+    otherwise. Pass ``executor=`` to inject a custom
+    :class:`~repro.core.scheduler.executors.Executor` instead.
+
+    The scheduler is reusable: each :meth:`run` call schedules one
+    batch (the autotuner runs many batches through one scheduler), and
+    the journal/restore state and the crash/requeue/dedup counters
+    carry across batches.
+    """
+
+    def __init__(
+        self,
+        runner: object,
+        *,
+        backend: str | None = None,
+        jobs: int = 1,
+        executor: Executor | None = None,
+        watchdog: object | None = None,
+        journal: SweepJournal | str | Path | None = None,
+        resume: bool = False,
+        progress: Callable[[RunResult], None] | None = None,
+        max_worker_restarts: int = 2,
+    ):
+        if jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {jobs}")
+        if max_worker_restarts < 0:
+            raise SweepError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
+        if resume and journal is None:
+            raise SweepError("resume=True requires a journal")
+        if backend is not None and executor is not None:
+            raise SweepError("pass either backend= or executor=, not both")
+        if backend is not None and backend not in BACKENDS:
+            raise SweepError(
+                f"unknown execution backend {backend!r}; valid: {', '.join(BACKENDS)}"
+            )
+        self.engine = runner.engine if isinstance(runner, BenchmarkRunner) else runner
+        self.backend = backend
+        self.jobs = jobs
+        self.executor = executor
+        self.watchdog = watchdog
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal(journal)
+        self.journal = journal
+        self.resume = resume
+        self.progress = progress
+        self.max_worker_restarts = max_worker_restarts
+        #: completed results by point key: the journal's contents when
+        #: resuming, plus everything finished by this scheduler since
+        self._restored: dict[str, RunResult] = (
+            journal.load() if (resume and journal is not None) else {}
+        )
+        #: executor backend the last :meth:`run` actually used
+        self.backend_used: str | None = None
+        # campaign-lifetime counters (accumulate across run() batches)
+        self.crashes = 0  #: crash outcomes observed (worker deaths)
+        self.requeues = 0  #: crashed points resubmitted
+        self.crash_failures = 0  #: points that exhausted the restart budget
+        self.deduped = 0  #: duplicate grid points served from their twin
+        self.progress_errors = 0  #: progress-callback exceptions swallowed
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(
+        self,
+        points: Iterable[TuningParameters] | Sequence[TuningParameters],
+        *,
+        skipped: int = 0,
+    ) -> ResultSet:
+        """Run one batch of points; results come back in input order.
+
+        ``skipped`` is reported in the ``sweep_started`` event (grid
+        points the sweep definition rejected before scheduling).
+        """
+        points = list(points)
+        target = self.engine.target  # type: ignore[attr-defined]
+        keys = [point_fingerprint(target, p) for p in points]
+        slots: list[RunResult | None] = [None] * len(points)
+
+        # restore journaled points, dedup the rest by fingerprint
+        queue: list[Task] = []
+        primary_of: dict[str, int] = {}
+        aliases: dict[str, list[int]] = {}
+        restored = 0
+        for i, (params, key) in enumerate(zip(points, keys)):
+            prior = self._restored.get(key)
+            if prior is not None:
+                slots[i] = prior
+                restored += 1
+                if self.journal is not None:
+                    self.journal.note_reused()
+                obs_events.emit("point_restored", point=key, target=target)
+            elif key in primary_of:
+                aliases.setdefault(key, []).append(i)
+                self.deduped += 1
+                obs_metrics.count("scheduler.deduped")
+                obs_events.emit(
+                    "point_deduped",
+                    point=key,
+                    index=i,
+                    primary=primary_of[key],
+                    target=target,
+                )
+            else:
+                primary_of[key] = i
+                queue.append(Task(index=i, key=key, params=params))
+
+        executor = self._resolve_executor(len(queue))
+        self.backend_used = executor.name
+        obs_events.emit(
+            "sweep_started",
+            target=target,
+            points=len(points),
+            restored=restored,
+            skipped=skipped,
+            jobs=self.jobs,
+            backend=executor.name,
+            deduped=sum(len(v) for v in aliases.values()),
+        )
+        requeued_here = 0
+        with obs_trace.span(
+            "sweep", "sweep", target=target, points=len(points), jobs=self.jobs
+        ):
+            if queue:
+                with executor.session(
+                    self.engine, watchdog=self.watchdog
+                ) as session:
+                    for task in queue:
+                        session.submit(task)
+                    outstanding = len(queue)
+                    obs_metrics.set_gauge("scheduler.queue_depth", outstanding)
+                    while outstanding:
+                        outcome = session.next_outcome()
+                        task = outcome.task
+                        if outcome.kind == "done":
+                            assert outcome.result is not None
+                            self._finish(
+                                slots, keys, aliases, task.index, outcome.result
+                            )
+                            outstanding -= 1
+                        elif outcome.kind == "crash":
+                            self.crashes += 1
+                            if task.restarts < self.max_worker_restarts:
+                                self.requeues += 1
+                                requeued_here += 1
+                                obs_metrics.count("scheduler.requeues")
+                                obs_events.emit(
+                                    "point_requeued",
+                                    point=task.key,
+                                    target=target,
+                                    restarts=task.restarts + 1,
+                                )
+                                session.submit(task.requeued())
+                            else:
+                                self.crash_failures += 1
+                                self._finish(
+                                    slots,
+                                    keys,
+                                    aliases,
+                                    task.index,
+                                    self._crash_failure(task, executor.name),
+                                )
+                                outstanding -= 1
+                        else:  # an engine bug: abort the campaign loudly
+                            raise SweepError(
+                                f"sweep worker crashed at grid point "
+                                f"{task.index} ({task.params.describe()}): "
+                                f"{outcome.error}"
+                            ) from outcome.exception
+                        obs_metrics.set_gauge(
+                            "scheduler.queue_depth", outstanding
+                        )
+
+        results = ResultSet(r for r in slots if r is not None)
+        kinds: dict[str, int] = {}
+        for r in results.failed():
+            kind = r.failure_kind or "unknown"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        obs_events.emit(
+            "sweep_finished",
+            target=target,
+            points=len(results),
+            failures=len(results.failed()),
+            failure_kinds=dict(sorted(kinds.items())),
+            requeues=requeued_here,
+        )
+        return results
+
+    # -- internals ---------------------------------------------------------
+
+    def _resolve_executor(self, todo: int) -> Executor:
+        if self.executor is not None:
+            return self.executor
+        if self.backend is not None:
+            return make_executor(self.backend, jobs=self.jobs)
+        # historical auto-selection: threads only when they can help
+        if self.jobs == 1 or todo <= 1:
+            return make_executor("serial")
+        return make_executor("thread", jobs=self.jobs)
+
+    def _finish(
+        self,
+        slots: list[RunResult | None],
+        keys: list[str],
+        aliases: dict[str, list[int]],
+        index: int,
+        result: RunResult,
+    ) -> None:
+        slots[index] = result
+        key = keys[index]
+        if self.journal is not None:
+            self.journal.record(key, result)
+        if self.resume:
+            self._restored[key] = result
+        self._report(result)
+        # duplicate grid points share their twin's result (and fire
+        # progress, so reporters still see one callback per grid point)
+        for alias_index in aliases.pop(key, ()):
+            slots[alias_index] = result
+            self._report(result)
+
+    def _report(self, result: RunResult) -> None:
+        if self.progress is None:
+            return
+        try:
+            self.progress(result)
+        except Exception as exc:  # a broken reporter must not kill the sweep
+            self.progress_errors += 1
+            obs_metrics.count("scheduler.progress_errors")
+            obs_events.emit(
+                "progress_error", error=f"{type(exc).__name__}: {exc}"
+            )
+
+    def _crash_failure(self, task: Task, backend: str) -> RunResult:
+        """The deterministic data point for a restart-budget-exhausted
+        crash — identical on every backend (the backend name lands only
+        in the fingerprint-excluded ``detail["scheduler"]``)."""
+        attempts = task.restarts + 1
+        return RunResult(
+            target=self.engine.target,  # type: ignore[attr-defined]
+            params=task.params,
+            times=(),
+            moved_bytes=task.params.moved_bytes,
+            validated=False,
+            error=(
+                f"worker crashed {attempts} time(s) running this point; "
+                f"restart budget ({self.max_worker_restarts}) exhausted"
+            ),
+            failure_kind="worker_crash",
+            detail={
+                "scheduler": {"backend": backend, "restarts": task.restarts}
+            },
+        )

@@ -1,0 +1,563 @@
+"""Campaign executors: the swappable "where do points actually run" layer.
+
+:class:`~repro.core.scheduler.campaign.CampaignScheduler` owns *what*
+runs (ordering, dedup, journal, requeue policy); an :class:`Executor`
+owns *where* it runs. The contract is deliberately small — an executor
+opens a session, the scheduler ``submit()``\\ s :class:`Task`\\ s into it
+and pulls :class:`Outcome`\\ s back out in completion order — so new
+backends (an MPI rank pool, a remote build farm) slot in without
+touching campaign semantics. Three implementations ship:
+
+:class:`SerialExecutor`
+    Runs points inline on the scheduler's engine — the classic
+    single-threaded sweep. No clones, no queues, no surprises.
+:class:`ThreadExecutor`
+    A pool of worker threads, each driving its own
+    :meth:`~repro.core.engine.ExecutionEngine.worker_clone` (private
+    context/queue, shared content-addressed build cache and stats
+    sink). This is the historical ``explore(jobs=N)`` behavior.
+:class:`ProcessExecutor`
+    A pool of worker *processes*, each rebuilding a sibling engine from
+    the parent's picklable :meth:`~repro.core.engine.ExecutionEngine.worker_spec`.
+    Workers talk to the parent over duplex pipes (tasks down, results
+    up); results cross the boundary in the journal's JSON record format,
+    which is fingerprint-stable by construction. The pool *survives
+    individual worker death*: a crashed worker's pipe hits EOF, the
+    parent reaps it, respawns a replacement, and reports the in-flight
+    point as a crash :class:`Outcome` for the scheduler to requeue.
+    Worker engines cannot share the in-process build cache, so each
+    process warms its own; final per-worker
+    :class:`~repro.core.engine.EngineStats` are merged back into the
+    parent's sink at shutdown.
+
+Worker crashes are *injectable*: the ``worker_crash`` fault site
+(:mod:`repro.faults`) is consulted once per ``(point, restarts)``
+before a point runs. In the process backend a firing fault hard-kills
+the worker with ``os._exit`` — no cleanup, a real death, exactly what a
+segfaulting toolchain does. The serial and thread backends cannot kill
+their host process, so they *simulate* the same death: the fault check
+uses the identical deterministic draw and surfaces the identical crash
+:class:`Outcome`, which is what lets a campaign produce byte-identical
+results on every backend even under injected crashes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ...errors import SweepError
+from ...obs import metrics as obs_metrics
+from ..history import (
+    params_from_record,
+    params_to_record,
+    point_fingerprint,
+    result_from_record,
+    result_to_record,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionEngine, Watchdog, WorkerSpec
+    from ..params import TuningParameters
+    from ..results import RunResult
+
+__all__ = [
+    "BACKENDS",
+    "Task",
+    "Outcome",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+#: the execution backends ``make_executor`` knows how to build
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One grid point queued for execution.
+
+    ``index`` is the point's slot in the campaign's grid-order result
+    list; ``key`` its :func:`~repro.core.history.point_fingerprint`;
+    ``restarts`` how many worker crashes this point has already
+    survived (drives both the ``worker_crash`` fault draw and the
+    scheduler's restart budget).
+    """
+
+    index: int
+    key: str
+    params: "TuningParameters"
+    restarts: int = 0
+
+    def requeued(self) -> "Task":
+        return replace(self, restarts=self.restarts + 1)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What an executor reports back for one dequeued task.
+
+    ``kind`` is one of ``"done"`` (``result`` holds the point's
+    :class:`~repro.core.results.RunResult`), ``"crash"`` (the worker
+    died mid-point — the scheduler decides requeue vs budget-exhausted
+    failure) or ``"error"`` (the engine *raised*, which per-point
+    failures never do — an engine bug that aborts the campaign).
+    """
+
+    kind: str
+    task: Task
+    result: "RunResult | None" = None
+    error: str = ""
+    exception: BaseException | None = None
+
+    @classmethod
+    def done(cls, task: Task, result: "RunResult") -> "Outcome":
+        return cls(kind="done", task=task, result=result)
+
+    @classmethod
+    def crash(cls, task: Task) -> "Outcome":
+        return cls(kind="crash", task=task)
+
+    @classmethod
+    def bug(
+        cls, task: Task, error: str, exception: BaseException | None = None
+    ) -> "Outcome":
+        return cls(kind="error", task=task, error=error, exception=exception)
+
+
+def _injected_crash(engine: object, task: Task) -> bool:
+    """Does the ``worker_crash`` fault site fire for this attempt?
+
+    The draw is a pure function of ``(seed, site, point, restarts)``
+    (see :class:`~repro.faults.FaultPlan`), so every backend — and a
+    killed-and-resumed campaign — sees the same crashes at the same
+    points.
+    """
+    faults = getattr(engine, "faults", None)
+    return faults is not None and faults.should_fire(
+        "worker_crash", task.key, task.restarts
+    )
+
+
+class Executor:
+    """Protocol for campaign execution backends.
+
+    ``session(engine, watchdog=...)`` returns a context manager whose
+    value exposes two methods:
+
+    ``submit(task)``
+        Queue a :class:`Task`; never blocks.
+    ``next_outcome()``
+        Block until any outstanding task resolves and return its
+        :class:`Outcome` (completion order, not submission order).
+
+    Closing the session cancels queued-but-unstarted tasks and releases
+    workers. Executors are stateless factories — one instance can open
+    any number of sequential sessions (the autotuner opens one per
+    batch).
+    """
+
+    name: str = "?"
+    jobs: int = 1
+
+    def session(self, engine: object, *, watchdog: "Watchdog | None" = None):
+        raise NotImplementedError
+
+
+class _SessionBase:
+    """Shared context-manager plumbing for executor sessions."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:  # pragma: no cover - overridden
+        pass
+
+
+# --------------------------------------------------------------------------
+# serial
+# --------------------------------------------------------------------------
+
+
+class SerialExecutor(Executor):
+    """Run points inline, one at a time, on the campaign's own engine."""
+
+    name = "serial"
+    jobs = 1
+
+    def session(self, engine: object, *, watchdog: "Watchdog | None" = None):
+        return _SerialSession(engine, watchdog)
+
+
+class _SerialSession(_SessionBase):
+    def __init__(self, engine: object, watchdog: "Watchdog | None"):
+        self._engine = engine
+        self._watchdog = watchdog
+        self._tasks: deque[Task] = deque()
+
+    def submit(self, task: Task) -> None:
+        self._tasks.append(task)
+
+    def next_outcome(self) -> Outcome:
+        if not self._tasks:
+            raise SweepError("executor has no outstanding tasks")
+        task = self._tasks.popleft()
+        if _injected_crash(self._engine, task):
+            return Outcome.crash(task)
+        try:
+            result = self._engine.run(task.params, watchdog=self._watchdog)  # type: ignore[attr-defined]
+        except Exception as exc:
+            return Outcome.bug(task, f"{type(exc).__name__}: {exc}", exc)
+        return Outcome.done(task, result)
+
+    def close(self) -> None:
+        self._tasks.clear()
+
+
+# --------------------------------------------------------------------------
+# threads
+# --------------------------------------------------------------------------
+
+
+class ThreadExecutor(Executor):
+    """A thread pool of engine worker clones (shared cache and stats)."""
+
+    name = "thread"
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def session(self, engine: object, *, watchdog: "Watchdog | None" = None):
+        return _ThreadSession(engine, watchdog, self.jobs)
+
+
+class _ThreadSession(_SessionBase):
+    def __init__(self, engine: object, watchdog: "Watchdog | None", jobs: int):
+        self._engine = engine
+        self._watchdog = watchdog
+        self._tasks: "queue.Queue[Task | None]" = queue.Queue()
+        self._outcomes: "queue.Queue[Outcome]" = queue.Queue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"sweep-worker-{i}", daemon=True
+            )
+            for i in range(jobs)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker(self) -> None:
+        clone: object | None = None
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            if clone is None:
+                clone = self._engine.worker_clone()  # type: ignore[attr-defined]
+            if _injected_crash(clone, task):
+                self._outcomes.put(Outcome.crash(task))
+                continue
+            try:
+                result = clone.run(task.params, watchdog=self._watchdog)  # type: ignore[attr-defined]
+            except Exception as exc:
+                self._outcomes.put(
+                    Outcome.bug(task, f"{type(exc).__name__}: {exc}", exc)
+                )
+                continue
+            self._outcomes.put(Outcome.done(task, result))
+
+    def submit(self, task: Task) -> None:
+        self._tasks.put(task)
+
+    def next_outcome(self) -> Outcome:
+        return self._outcomes.get()
+
+    def close(self) -> None:
+        # drop queued-but-unstarted work (the cancel_futures analogue),
+        # then let each worker drain one sentinel and exit
+        try:
+            while True:
+                self._tasks.get_nowait()
+        except queue.Empty:
+            pass
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+
+# --------------------------------------------------------------------------
+# processes
+# --------------------------------------------------------------------------
+
+#: the ``os._exit`` status an injected worker_crash dies with (visible
+#: in ``Process.exitcode`` when debugging a crashed campaign)
+CRASH_EXIT_CODE = 3
+
+
+def _process_worker_main(
+    conn: "multiprocessing.connection.Connection",
+    spec: "WorkerSpec",
+    watchdog: "Watchdog | None",
+) -> None:
+    """One worker process: rebuild a sibling engine, serve tasks.
+
+    Protocol (all over one duplex pipe): the parent sends
+    ``(index, restarts, params_record)`` tuples and a ``None`` sentinel;
+    the worker replies ``("done", index, restarts, result_record)`` /
+    ``("error", index, restarts, message)`` per task and
+    ``("stats", snapshot)`` on shutdown so the parent can merge this
+    worker's :class:`~repro.core.engine.EngineStats`.
+
+    An injected ``worker_crash`` fault hard-kills the process with
+    ``os._exit`` *before* the point runs — no flush, no goodbye, the
+    parent only notices the pipe going dead. That is deliberate: the
+    requeue path must not depend on a dying worker's cooperation.
+    """
+    # under a fork start method the child inherits the parent's live
+    # obs sinks; writing to them from here would interleave with the
+    # parent, so a worker always starts with observability off
+    from ...obs import set_log, set_registry, set_tracer
+
+    set_tracer(None)
+    set_registry(None)
+    set_log(None)
+
+    from ..engine import ExecutionEngine
+
+    engine = ExecutionEngine.from_worker_spec(spec)
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                conn.send(("stats", engine.stats.snapshot()))
+                return
+            index, restarts, params_record = message
+            params = params_from_record(params_record)
+            key = point_fingerprint(engine.target, params)
+            if engine.faults is not None and engine.faults.should_fire(
+                "worker_crash", key, restarts
+            ):
+                os._exit(CRASH_EXIT_CODE)
+            try:
+                result = engine.run(params, watchdog=watchdog)
+            except Exception as exc:
+                conn.send(("error", index, restarts, f"{type(exc).__name__}: {exc}"))
+                continue
+            conn.send(("done", index, restarts, result_to_record(result, detail=True)))
+    except (EOFError, KeyboardInterrupt):  # parent died / interrupted
+        return
+    finally:
+        conn.close()
+
+
+class ProcessExecutor(Executor):
+    """A pool of worker processes that survives individual worker death.
+
+    Requires a real :class:`~repro.core.engine.ExecutionEngine` (the
+    workers rebuild siblings from its
+    :meth:`~repro.core.engine.ExecutionEngine.worker_spec`). Results
+    cross the process boundary as journal-format JSON records, so a
+    process campaign is fingerprint-identical to a serial one.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2, *, start_method: str | None = None):
+        if jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self.start_method = start_method
+
+    def session(self, engine: object, *, watchdog: "Watchdog | None" = None):
+        spec_of = getattr(engine, "worker_spec", None)
+        if spec_of is None:
+            raise SweepError(
+                "the process backend needs an ExecutionEngine that can "
+                f"describe itself for worker processes; got {type(engine).__name__}"
+            )
+        return _ProcessSession(
+            engine,
+            spec_of(),
+            watchdog,
+            self.jobs,
+            multiprocessing.get_context(self.start_method),
+        )
+
+
+class _ProcessWorker:
+    __slots__ = ("proc", "conn", "current")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.current: Task | None = None
+
+
+class _ProcessSession(_SessionBase):
+    def __init__(
+        self,
+        engine: "ExecutionEngine",
+        spec: "WorkerSpec",
+        watchdog: "Watchdog | None",
+        jobs: int,
+        ctx,
+    ):
+        self._engine = engine
+        self._spec = spec
+        self._watchdog = watchdog
+        self._ctx = ctx
+        self._pending: deque[Task] = deque()
+        #: worker processes respawned after a death this session
+        self.restarts = 0
+        self._workers = [self._spawn() for _ in range(jobs)]
+
+    def _spawn(self) -> _ProcessWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, self._spec, self._watchdog),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _ProcessWorker(proc, parent_conn)
+
+    def submit(self, task: Task) -> None:
+        self._pending.append(task)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        for worker in self._workers:
+            if not self._pending:
+                return
+            if worker.current is None:
+                task = self._pending.popleft()
+                worker.current = task
+                try:
+                    worker.conn.send(
+                        (task.index, task.restarts, params_to_record(task.params))
+                    )
+                except (BrokenPipeError, OSError):
+                    # the worker is already dead; next_outcome's wait()
+                    # sees the closed pipe and reaps it as a crash
+                    pass
+
+    def next_outcome(self) -> Outcome:
+        while True:
+            self._dispatch()
+            busy = [w for w in self._workers if w.current is not None]
+            if not busy:
+                raise SweepError("executor has no outstanding tasks")
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in busy], timeout=1.0
+            )
+            for conn in ready:
+                worker = next(w for w in self._workers if w.conn is conn)
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    outcome = self._reap(worker)
+                    if outcome is not None:
+                        return outcome
+                    continue
+                outcome = self._handle(worker, message)
+                if outcome is not None:
+                    return outcome
+
+    def _handle(self, worker: _ProcessWorker, message: tuple) -> Outcome | None:
+        kind = message[0]
+        if kind == "stats":  # pragma: no cover - shutdown-path only
+            self._merge_stats(message[1])
+            return None
+        task = worker.current
+        worker.current = None
+        assert task is not None
+        if kind == "done":
+            return Outcome.done(task, result_from_record(message[3]))
+        if kind == "error":
+            return Outcome.bug(task, message[3])
+        raise SweepError(f"unknown worker message {kind!r}")  # pragma: no cover
+
+    def _reap(self, worker: _ProcessWorker) -> Outcome | None:
+        """A worker's pipe died: bury it, respawn, report the casualty."""
+        task = worker.current
+        worker.current = None
+        worker.conn.close()
+        worker.proc.join(timeout=10.0)
+        slot = self._workers.index(worker)
+        self._workers[slot] = self._spawn()
+        self.restarts += 1
+        obs_metrics.count("scheduler.worker_restarts")
+        if task is None:  # died idle: nothing was in flight
+            return None
+        return Outcome.crash(task)
+
+    def _merge_stats(self, snapshot: dict) -> None:
+        stats = getattr(self._engine, "stats", None)
+        if stats is not None:
+            stats.merge_snapshot(snapshot)
+
+    def close(self) -> None:
+        self._pending.clear()
+        for worker in self._workers:
+            if worker.proc.is_alive():
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + 10.0
+        for worker in self._workers:
+            # drain the pipe until the final stats message (late results
+            # from cancelled points are dropped on the floor)
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    if not worker.conn.poll(min(remaining, 1.0)):
+                        break
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+                if message[0] == "stats":
+                    self._merge_stats(message[1])
+                    break
+            worker.conn.close()
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                worker.proc.terminate()
+                worker.proc.join(timeout=5.0)
+
+
+def make_executor(backend: str, *, jobs: int = 1) -> Executor:
+    """Build an executor by backend name (``serial|thread|process``)."""
+    if jobs < 1:
+        raise SweepError(f"jobs must be >= 1, got {jobs}")
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(jobs)
+    if backend == "process":
+        return ProcessExecutor(jobs)
+    raise SweepError(
+        f"unknown execution backend {backend!r}; valid: {', '.join(BACKENDS)}"
+    )

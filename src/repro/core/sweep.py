@@ -7,12 +7,17 @@ FPGA configuration that doesn't fit is a data point, not a crash).
 returns a :class:`~repro.core.results.ResultSet`; :func:`best_configuration`
 is the simple automated-DSE entry point the paper motivates.
 
-``explore(..., jobs=N)`` fans the campaign out over a thread pool.
-Each worker thread drives its own
-:meth:`~repro.core.engine.ExecutionEngine.worker_clone` (private
-context/queue, shared content-addressed build cache and stats sink), so
-points race only on the cache — results are identical to the serial
-path and always returned in grid order, whatever order they finish in.
+Execution is delegated to the campaign scheduler
+(:mod:`repro.core.scheduler`): :func:`explore` builds the grid and
+hands it to a :class:`~repro.core.scheduler.CampaignScheduler`, which
+owns ordering, dedup, journaling, crash/requeue policy and
+instrumentation, and runs the points on a pluggable backend —
+``backend="serial"``, ``"thread"`` (``jobs=N`` worker threads driving
+:meth:`~repro.core.engine.ExecutionEngine.worker_clone` siblings that
+share one build cache), or ``"process"`` (a worker-process pool that
+survives individual worker death). Whatever the backend or completion
+order, results come back in grid order with fingerprints identical to
+the serial path; see ``docs/SCHEDULING.md`` for the backend matrix.
 
 Resilience: pass ``journal=`` to stream every completed point to a
 :class:`~repro.core.history.SweepJournal` as it finishes, and
@@ -21,8 +26,11 @@ parameter fingerprint) — a campaign killed mid-sweep restarts where it
 died and produces byte-identical results. A
 :class:`~repro.core.engine.Watchdog` bounds each point so one runaway
 configuration degrades to a ``"timeout"`` data point instead of
-hanging the pool. A worker *crash* (an engine bug — per-point failures
-never raise) cancels the remaining queue and surfaces as a
+hanging the pool. A *worker death* mid-point (injectable via the
+``worker_crash`` fault site) is requeued up to
+``max_worker_restarts`` times and then recorded as a
+``"worker_crash"`` data point; an engine *bug* (per-point failures
+never raise) still cancels the remaining queue and surfaces as a
 :class:`~repro.errors.SweepError` naming the grid point.
 
 Verification: an engine constructed with ``verify=True`` runs the
@@ -42,20 +50,17 @@ callback reporting rate, ETA, failures and cache hits live — under
 from __future__ import annotations
 
 import itertools
-import threading
-from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
 from ..errors import SweepError
-from ..obs import events as obs_events
-from ..obs import trace as obs_trace
 from .engine import ExecutionEngine, Watchdog
-from .history import SweepJournal, point_fingerprint
+from .history import SweepJournal
 from .params import TuningParameters
 from .results import ResultSet, RunResult
 from .runner import BenchmarkRunner
+from .scheduler import CampaignScheduler
 
 __all__ = ["ParameterSweep", "explore", "best_configuration"]
 
@@ -108,18 +113,28 @@ def explore(
     sweep: ParameterSweep,
     *,
     jobs: int = 1,
+    backend: str | None = None,
     progress: Callable[[RunResult], None] | None = None,
     watchdog: Watchdog | None = None,
     journal: SweepJournal | str | Path | None = None,
     resume: bool = False,
+    max_worker_restarts: int = 2,
 ) -> ResultSet:
     """Run every point of a sweep on a target.
 
-    ``jobs > 1`` runs points on a thread pool; results keep the grid's
-    deterministic row-major order and per-point failure tolerance, and
-    ``progress`` fires once per *executed* point in completion order
-    (serialized under a lock, so callbacks need no locking of their
-    own).
+    A thin client of :class:`~repro.core.scheduler.CampaignScheduler`:
+    this function's whole job is turning a :class:`ParameterSweep` into
+    a point list; ordering, dedup, journaling, crash policy and
+    instrumentation belong to the scheduler.
+
+    ``backend`` selects where points run (``"serial"``, ``"thread"``,
+    ``"process"``); left ``None``, ``jobs > 1`` picks the thread
+    backend and ``jobs=1`` runs serially. Results keep the grid's
+    deterministic row-major order and per-point failure tolerance
+    whatever the backend, and ``progress`` fires once per grid point in
+    completion order (on the scheduler's thread — callbacks need no
+    locking, and one that raises is logged as a ``progress_error``
+    event rather than killing the campaign).
 
     ``watchdog`` bounds each point's wall/virtual time (recorded as a
     ``"timeout"`` failure on breach). ``journal`` streams every
@@ -130,98 +145,25 @@ def explore(
     ``journal.reused``), so an interrupted campaign picks up where it
     died with byte-identical results.
 
-    A worker that *raises* (an engine bug — per-point failures are
-    returned, not raised) cancels the not-yet-started points and
-    re-raises as :class:`~repro.errors.SweepError` naming the grid
-    point, instead of leaving orphaned workers running.
+    A worker *death* mid-point is requeued up to ``max_worker_restarts``
+    times, then recorded as a ``"worker_crash"`` data point. A worker
+    that *raises* (an engine bug — per-point failures are returned, not
+    raised) cancels the not-yet-started points and re-raises as
+    :class:`~repro.errors.SweepError` naming the grid point, instead of
+    leaving orphaned workers running.
     """
-    if jobs < 1:
-        raise SweepError(f"jobs must be >= 1, got {jobs}")
-    if resume and journal is None:
-        raise SweepError("resume=True requires a journal")
-    engine = runner.engine if isinstance(runner, BenchmarkRunner) else runner
-    if journal is not None and not isinstance(journal, SweepJournal):
-        journal = SweepJournal(journal)
-    completed = journal.load() if (resume and journal is not None) else {}
-
-    points = list(sweep.points())
-    keys = [point_fingerprint(engine.target, p) for p in points]
-    slots: list[RunResult | None] = [None] * len(points)
-    todo: list[tuple[int, TuningParameters]] = []
-    for i, (params, key) in enumerate(zip(points, keys)):
-        prior = completed.get(key)
-        if prior is not None:
-            slots[i] = prior
-            journal.note_reused()  # type: ignore[union-attr]
-            obs_events.emit("point_restored", point=key, target=engine.target)
-        else:
-            todo.append((i, params))
-
-    progress_lock = threading.Lock()
-
-    def finish_point(index: int, result: RunResult) -> None:
-        slots[index] = result
-        if journal is not None:
-            journal.record(keys[index], result)
-        if progress is not None:
-            with progress_lock:
-                progress(result)
-
-    obs_events.emit(
-        "sweep_started",
-        target=engine.target,
-        points=len(points),
-        restored=len(points) - len(todo),
-        skipped=len(sweep.skipped),
+    scheduler = CampaignScheduler(
+        runner,
+        backend=backend,
         jobs=jobs,
+        watchdog=watchdog,
+        journal=journal,
+        resume=resume,
+        progress=progress,
+        max_worker_restarts=max_worker_restarts,
     )
-    with obs_trace.span(
-        "sweep", "sweep", target=engine.target, points=len(points), jobs=jobs
-    ):
-        if jobs == 1 or len(todo) <= 1:
-            for index, params in todo:
-                finish_point(index, engine.run(params, watchdog=watchdog))
-        else:
-            local = threading.local()
-
-            def run_point(index: int, params: TuningParameters) -> None:
-                worker = getattr(local, "engine", None)
-                if worker is None:
-                    worker = engine.worker_clone()
-                    local.engine = worker
-                finish_point(index, worker.run(params, watchdog=watchdog))
-
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(run_point, i, params): (i, params)
-                    for i, params in todo
-                }
-                for future in as_completed(futures):
-                    try:
-                        # engine.run never raises; surface bugs loudly
-                        future.result()
-                    except Exception as exc:
-                        # an engine bug, not a per-point failure: stop
-                        # handing out work, drop the queued points, and
-                        # name the culprit
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        index, params = futures[future]
-                        raise SweepError(
-                            f"sweep worker crashed at grid point {index} "
-                            f"({params.describe()}): {type(exc).__name__}: {exc}"
-                        ) from exc
-    results = ResultSet(r for r in slots if r is not None)
-    kinds: dict[str, int] = {}
-    for r in results.failed():
-        kinds[r.failure_kind or "unknown"] = kinds.get(r.failure_kind or "unknown", 0) + 1
-    obs_events.emit(
-        "sweep_finished",
-        target=engine.target,
-        points=len(results),
-        failures=len(results.failed()),
-        failure_kinds=dict(sorted(kinds.items())),
-    )
-    return results
+    points = list(sweep.points())
+    return scheduler.run(points, skipped=len(sweep.skipped))
 
 
 def best_configuration(
@@ -229,7 +171,8 @@ def best_configuration(
     sweep: ParameterSweep,
     *,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> tuple[RunResult | None, ResultSet]:
     """Automated DSE: run the sweep, return (winner, full results)."""
-    results = explore(runner, sweep, jobs=jobs)
+    results = explore(runner, sweep, jobs=jobs, backend=backend)
     return results.best(), results

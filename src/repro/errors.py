@@ -30,6 +30,7 @@ __all__ = [
     "VerifyMismatchError",
     "SweepError",
     "PointTimeoutError",
+    "WorkerCrashError",
     "failure_kind",
 ]
 
@@ -206,6 +207,18 @@ class PointTimeoutError(BenchmarkError):
     """
 
 
+class WorkerCrashError(BenchmarkError):
+    """A sweep worker died while a point was in flight.
+
+    Raised/recorded by the campaign scheduler
+    (:mod:`repro.core.scheduler`) when a worker process crashes —
+    injectable via the ``worker_crash`` fault site — and the point has
+    exhausted its restart budget. Classified as ``"worker_crash"`` so
+    crash-induced failures are distinguishable from the point's own
+    failure modes in campaign summaries.
+    """
+
+
 # --------------------------------------------------------------------------
 # Failure taxonomy
 # --------------------------------------------------------------------------
@@ -219,7 +232,7 @@ def failure_kind(exc: BaseException | None) -> str:
 
     Returns one of ``"timeout"``, ``"verify_mismatch"``,
     ``"validation"``, ``"build"``, ``"launch"``, ``"compile"``,
-    ``"runtime"``, ``"harness"`` or
+    ``"runtime"``, ``"worker_crash"``, ``"harness"`` or
     ``"internal"`` — the value recorded on
     :attr:`~repro.core.results.RunResult.failure_kind` and aggregated
     by :meth:`~repro.core.results.ResultSet.failure_kinds`.
@@ -242,5 +255,6 @@ _FAILURE_KINDS = (
     (LaunchError, "launch"),
     (OclcError, "compile"),
     (OclError, "runtime"),
+    (WorkerCrashError, "worker_crash"),
     (BenchmarkError, "harness"),
 )

@@ -41,6 +41,16 @@ Sites (see :data:`FAULT_SITES`):
     point. Unlike every other site this one is deliberately **not**
     transient — a miscompile reproduces on retry — and the engine
     records it as a permanent ``"verify_mismatch"`` failure.
+``worker_crash``
+    The whole *worker* dies mid-point (a segfaulting toolchain, an OOM
+    kill) — consulted by the campaign executors
+    (:mod:`repro.core.scheduler.executors`), not by the engine's
+    ``check()``: the process backend hard-kills the worker process,
+    serial/thread backends simulate the same death. The attempt number
+    in the draw is the point's *restart count*, so requeue-then-succeed
+    schedules are deterministic and backend-independent; exhausting the
+    scheduler's restart budget records a permanent ``"worker_crash"``
+    failure.
 
 Specs are parsed from compact CLI text::
 
@@ -85,6 +95,7 @@ FAULT_SITES = (
     "readback",
     "stall",
     "verify",
+    "worker_crash",
 )
 
 #: wall seconds a stalled point hangs when no watchdog cancels it

@@ -110,7 +110,10 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         # the campaign summary: point/job/skip counts and cache counters
-        assert "3 point(s) on 2 job(s), 0 invalid point(s) skipped" in out
+        assert (
+            "3 point(s) on 2 job(s) (thread backend), "
+            "0 invalid point(s) skipped" in out
+        )
         # NDRange sizes share one front-end pass; repeats are tagged
         assert "front-end 2 hit/1 miss" in out
         assert "[cached front-end]" in out
@@ -295,6 +298,73 @@ class TestResilienceFlags:
         code = main(self.SWEEP + ["--resume"])
         assert code == 2
         assert "journal" in capsys.readouterr().err
+
+
+class TestSchedulerFlags:
+    SWEEP = ["sweep", "--target", "cpu", "--size", "64KiB",
+             "--axis", "vector_width=1,2", "--ntimes", "1"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.backend is None
+        assert args.max_worker_restarts == 2
+        assert args.durable_journal is False
+
+    def test_zero_jobs_rejected(self, capsys):
+        code = main(self.SWEEP + ["--jobs", "0"])
+        assert code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        code = main(self.SWEEP + ["--jobs", "-3"])
+        assert code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "mpi"])
+
+    def test_process_backend_smoke(self, capsys):
+        code = main(self.SWEEP + ["--jobs", "2", "--backend", "process"])
+        assert code == 0
+        assert "(process backend)" in capsys.readouterr().out
+
+    def test_serial_backend_overrides_jobs(self, capsys):
+        code = main(self.SWEEP + ["--jobs", "4", "--backend", "serial"])
+        assert code == 0
+        assert "(serial backend)" in capsys.readouterr().out
+
+    def test_crash_faults_reported_in_summary(self, tmp_path, capsys):
+        journal = tmp_path / "crash.jsonl"
+        code = main(self.SWEEP + [
+            "--inject-faults", "worker_crash=1.0,seed=7",
+            "--max-worker-restarts", "1",
+            "--journal", str(journal), "--durable-journal",
+        ])
+        assert code == 0  # crash failures are data, not harness errors
+        out = capsys.readouterr().out
+        assert "scheduler:" in out
+        assert "worker crash(es)" in out
+        assert "worker_crash" in out  # failure-kind table row
+        # resume restores the crash-failure points instead of re-running
+        assert main(self.SWEEP + [
+            "--inject-faults", "worker_crash=1.0,seed=7",
+            "--max-worker-restarts", "1",
+            "--journal", str(journal), "--resume",
+        ]) == 0
+        assert "2 restored, 0 executed" in capsys.readouterr().out
+
+    def test_autotune_scheduler_flags(self, tmp_path, capsys):
+        journal = tmp_path / "tune.jsonl"
+        tune = ["autotune", "--target", "aocl", "--size", "64KiB",
+                "--ntimes", "1", "--budget", "10",
+                "--axis", "vector_width=1,2,4"]
+        assert main(tune + ["--jobs", "2", "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert "journal:" in first and "0 restored" in first
+        assert main(tune + ["--journal", str(journal), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second
 
 
 class TestVerifyCommand:

@@ -1,0 +1,355 @@
+"""The campaign scheduler/executor layer (repro.core.scheduler).
+
+The acceptance criterion for the whole layer is *differential*: a
+campaign's :class:`ResultSet` must be fingerprint-identical whichever
+backend ran it — serial, thread pool, or a process pool whose workers
+are being killed mid-point by injected ``worker_crash`` faults — and
+across a mid-sweep kill/resume. Everything else here (restart budgets,
+dedup, durable journals, progress-error containment, stats merge) is
+the supporting machinery that makes that invariant hold.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    BenchmarkRunner,
+    CampaignScheduler,
+    ExecutionEngine,
+    LoopManagement,
+    ParameterSweep,
+    SweepJournal,
+    TuningParameters,
+    autotune,
+    explore,
+    make_executor,
+)
+from repro.core.scheduler import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.errors import SweepError, WorkerCrashError, failure_kind
+from repro.faults import FaultPlan
+from repro.units import KIB
+
+AXES = {
+    "vector_width": [1, 2, 4],
+    "array_bytes": [32 * KIB, 64 * KIB],
+}
+
+
+def _sweep() -> ParameterSweep:
+    return ParameterSweep(
+        base=TuningParameters(array_bytes=32 * KIB), axes=AXES
+    )
+
+
+def _engine(faults: str | None = None, **kw) -> ExecutionEngine:
+    kw.setdefault("ntimes", 1)
+    if faults is not None:
+        kw["faults"] = FaultPlan.parse(faults)
+    return ExecutionEngine("gpu", **kw)
+
+
+def _fps(results) -> list[str]:
+    return [r.fingerprint() for r in results]
+
+
+def _crash_schedule(plan: FaultPlan, keys: list[str], budget: int) -> list[int]:
+    """How many times each point crashes before running (or gives up)."""
+    out = []
+    for key in keys:
+        crashes = 0
+        while crashes <= budget and plan.should_fire("worker_crash", key, crashes):
+            crashes += 1
+        out.append(crashes)
+    return out
+
+
+def _find_requeue_seed() -> str:
+    """A fault spec where >= 1 point crashes once then succeeds, and no
+    point exhausts the default restart budget — deterministically."""
+    from repro.core import point_fingerprint
+
+    keys = [
+        point_fingerprint("gpu", p) for p in _sweep().points()
+    ]
+    for seed in range(200):
+        spec = f"worker_crash=0.5,seed={seed}"
+        sched = _crash_schedule(FaultPlan.parse(spec), keys, budget=2)
+        if any(c == 1 for c in sched) and all(c <= 2 for c in sched):
+            return spec
+    raise AssertionError("no suitable seed in range")  # pragma: no cover
+
+
+class TestDifferentialBackends:
+    def test_serial_thread_process_identical(self):
+        serial = explore(_engine(), _sweep(), backend="serial")
+        thread = explore(_engine(), _sweep(), jobs=3, backend="thread")
+        process = explore(_engine(), _sweep(), jobs=2, backend="process")
+        assert len(serial) == len(thread) == len(process) == 6
+        assert _fps(serial) == _fps(thread) == _fps(process)
+        assert [r.params for r in serial] == [r.params for r in process]
+
+    def test_identical_under_injected_crashes(self):
+        spec = "worker_crash=0.5,seed=3"
+        runs = {
+            backend: explore(
+                _engine(spec), _sweep(), jobs=2, backend=backend
+            )
+            for backend in ("serial", "thread", "process")
+        }
+        baseline = _fps(runs["serial"])
+        assert _fps(runs["thread"]) == baseline
+        assert _fps(runs["process"]) == baseline
+
+    def test_crash_survivors_match_faultless_run(self):
+        """A point that crashes then succeeds measures exactly what it
+        would have measured with no fault at all."""
+        spec = _find_requeue_seed()
+        clean = explore(_engine(), _sweep())
+        scheduler = CampaignScheduler(_engine(spec), backend="process", jobs=2)
+        crashed = scheduler.run(list(_sweep().points()))
+        assert scheduler.crashes >= 1
+        assert scheduler.requeues >= 1
+        assert scheduler.crash_failures == 0
+        assert all(r.ok for r in crashed)
+        assert _fps(crashed) == _fps(clean)
+
+    def test_restart_budget_exhaustion_is_deterministic_data(self):
+        spec = "worker_crash=1.0,seed=9"
+        serial = explore(_engine(spec), _sweep(), max_worker_restarts=1)
+        process = explore(
+            _engine(spec), _sweep(), jobs=2, backend="process",
+            max_worker_restarts=1,
+        )
+        for results in (serial, process):
+            assert len(results) == 6
+            assert all(r.failure_kind == "worker_crash" for r in results)
+            assert all("restart budget" in r.error for r in results)
+            assert all(not r.times for r in results)
+        assert _fps(serial) == _fps(process)
+
+    def test_crash_detail_is_provenance_not_measurement(self):
+        spec = "worker_crash=1.0,seed=9"
+        result = explore(_engine(spec), _sweep(), max_worker_restarts=0)[0]
+        assert result.detail["scheduler"]["restarts"] == 0
+        assert "scheduler" not in result.fingerprint()
+
+
+class TestResume:
+    def test_mid_sweep_resume_per_backend(self, tmp_path):
+        fresh = explore(_engine(), _sweep())
+        for backend in ("serial", "thread", "process"):
+            journal = SweepJournal(tmp_path / f"{backend}.jsonl")
+            partial = ParameterSweep(
+                base=TuningParameters(array_bytes=32 * KIB),
+                axes={"vector_width": [1, 2, 4]},
+            )
+            explore(_engine(), partial, jobs=2, backend=backend,
+                    journal=journal)
+            assert journal.executed == 3
+            resumed = explore(_engine(), _sweep(), jobs=2, backend=backend,
+                              journal=journal, resume=True)
+            assert journal.reused == 3
+            assert _fps(resumed) == _fps(fresh)
+
+    def test_resume_after_crash_failures_restores_them(self, tmp_path):
+        spec = "worker_crash=1.0,seed=9"
+        journal = SweepJournal(tmp_path / "crashes.jsonl")
+        first = explore(_engine(spec), _sweep(), max_worker_restarts=0,
+                        journal=journal)
+        resumed = explore(_engine(spec), _sweep(), max_worker_restarts=0,
+                          journal=journal, resume=True)
+        assert journal.reused == 6 and journal.discarded == 0
+        assert _fps(resumed) == _fps(first)
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SweepError, match="requires a journal"):
+            explore(_engine(), _sweep(), resume=True)
+
+
+class TestJournalDurability:
+    def test_durable_journal_fsyncs_every_record(self, tmp_path, monkeypatch):
+        import repro.core.history as history
+
+        synced: list[int] = []
+        monkeypatch.setattr(history.os, "fsync", lambda fd: synced.append(fd))
+        journal = SweepJournal(tmp_path / "durable.jsonl", durable=True)
+        explore(_engine(), _sweep(), journal=journal)
+        assert len(synced) == 6
+
+    def test_default_journal_does_not_fsync(self, tmp_path, monkeypatch):
+        import repro.core.history as history
+
+        synced: list[int] = []
+        monkeypatch.setattr(history.os, "fsync", lambda fd: synced.append(fd))
+        journal = SweepJournal(tmp_path / "plain.jsonl")
+        explore(_engine(), _sweep(), journal=journal)
+        assert synced == []
+        assert journal.durable is False
+
+
+class TestSchedulerPolicy:
+    def test_jobs_validation(self):
+        for jobs in (0, -2):
+            with pytest.raises(SweepError, match="jobs must be >= 1"):
+                CampaignScheduler(_engine(), jobs=jobs)
+        with pytest.raises(SweepError, match="jobs must be >= 1"):
+            make_executor("thread", jobs=0)
+
+    def test_restart_budget_validation(self):
+        with pytest.raises(SweepError, match="max_worker_restarts"):
+            CampaignScheduler(_engine(), max_worker_restarts=-1)
+
+    def test_backend_validation(self):
+        with pytest.raises(SweepError, match="unknown execution backend"):
+            CampaignScheduler(_engine(), backend="mpi")
+        with pytest.raises(SweepError, match="unknown execution backend"):
+            make_executor("mpi")
+        with pytest.raises(SweepError, match="not both"):
+            CampaignScheduler(
+                _engine(), backend="serial", executor=SerialExecutor()
+            )
+
+    def test_auto_backend_selection(self):
+        sched = CampaignScheduler(_engine(), jobs=4)
+        sched.run(list(_sweep().points()))
+        assert sched.backend_used == "thread"
+        sched = CampaignScheduler(_engine())
+        sched.run(list(_sweep().points()))
+        assert sched.backend_used == "serial"
+        # a single point never pays for a pool
+        sched = CampaignScheduler(_engine(), jobs=4)
+        sched.run([TuningParameters(array_bytes=32 * KIB)])
+        assert sched.backend_used == "serial"
+
+    def test_dedup_by_fingerprint(self, tmp_path):
+        journal = SweepJournal(tmp_path / "dedup.jsonl")
+        sweep = ParameterSweep(
+            base=TuningParameters(array_bytes=32 * KIB),
+            axes={"vector_width": [1, 1]},
+        )
+        seen: list = []
+        scheduler = CampaignScheduler(
+            _engine(), journal=journal, progress=seen.append
+        )
+        results = scheduler.run(list(sweep.points()))
+        assert len(results) == 2
+        assert results[0].fingerprint() == results[1].fingerprint()
+        assert scheduler.deduped == 1
+        assert journal.executed == 1  # the twin never re-ran
+        assert len(seen) == 2  # but progress still saw both grid points
+
+    def test_progress_error_does_not_kill_campaign(self):
+        calls: list[int] = []
+
+        def bad_progress(result) -> None:
+            calls.append(1)
+            raise RuntimeError("reporter bug")
+
+        scheduler = CampaignScheduler(_engine(), progress=bad_progress)
+        results = scheduler.run(list(_sweep().points()))
+        assert len(results) == 6
+        assert len(calls) == 6  # still called for every point
+        assert scheduler.progress_errors == 6
+
+    def test_engine_bug_still_aborts_campaign(self):
+        class BombEngine:
+            target = "gpu"
+
+            def worker_clone(self):
+                return self
+
+            def run(self, params, *, watchdog=None):
+                raise RuntimeError("engine bug")
+
+        with pytest.raises(SweepError, match=r"grid point \d+ .*engine bug"):
+            CampaignScheduler(BombEngine(), backend="serial").run(
+                list(_sweep().points())
+            )
+
+    def test_worker_crash_failure_kind_taxonomy(self):
+        assert failure_kind(WorkerCrashError("boom")) == "worker_crash"
+
+
+class TestProcessExecutor:
+    def test_requires_a_real_engine(self):
+        class DuckEngine:
+            target = "gpu"
+
+        with pytest.raises(SweepError, match="process backend"):
+            with ProcessExecutor(jobs=1).session(DuckEngine()):
+                pass  # pragma: no cover
+
+    def test_worker_stats_merged_into_parent(self):
+        engine = _engine()
+        explore(engine, _sweep(), jobs=2, backend="process")
+        stats = engine.stats_snapshot()
+        assert stats["points"] == 6
+        assert stats["failures"] == 0
+        assert stats["stage_s"]["execute"] > 0
+
+    def test_journal_written_by_parent_survives_worker_kills(self, tmp_path):
+        spec = _find_requeue_seed()
+        journal = SweepJournal(tmp_path / "j.jsonl", durable=True)
+        results = explore(_engine(spec), _sweep(), jobs=2, backend="process",
+                          journal=journal)
+        records = [
+            json.loads(line)
+            for line in journal.path.read_text().splitlines()
+        ]
+        assert len(records) == len(results) == 6
+        assert {r["fingerprint"] for r in records} == set(_fps(results))
+
+    def test_executor_names_and_factory(self):
+        assert make_executor("serial").name == "serial"
+        assert isinstance(make_executor("thread", jobs=3), ThreadExecutor)
+        assert make_executor("process", jobs=2).jobs == 2
+
+
+class TestAutotuneThroughScheduler:
+    AXES = {
+        "loop": list(LoopManagement),
+        "vector_width": [1, 2, 4, 8],
+        "unroll": [1, 2],
+    }
+
+    def _seed(self) -> TuningParameters:
+        return TuningParameters(array_bytes=128 * KIB)
+
+    def test_parallel_scan_keeps_serial_trajectory(self):
+        serial = autotune(
+            BenchmarkRunner("aocl", ntimes=1), self.AXES,
+            seed=self._seed(), budget=20,
+        )
+        threaded = autotune(
+            BenchmarkRunner("aocl", ntimes=1), self.AXES,
+            seed=self._seed(), budget=20, jobs=3,
+        )
+        process = autotune(
+            BenchmarkRunner("aocl", ntimes=1), self.AXES,
+            seed=self._seed(), budget=20, jobs=2, backend="process",
+        )
+        assert serial.trajectory == threaded.trajectory == process.trajectory
+        assert serial.best.fingerprint() == threaded.best.fingerprint()
+        assert serial.best.fingerprint() == process.best.fingerprint()
+        assert serial.evaluations_used == threaded.evaluations_used
+        assert serial.evaluations_used == process.evaluations_used
+
+    def test_journal_resume_replays_trajectory(self, tmp_path):
+        journal_path = tmp_path / "tune.jsonl"
+        first = autotune(
+            BenchmarkRunner("aocl", ntimes=1), self.AXES,
+            seed=self._seed(), budget=20, journal=journal_path,
+        )
+        journal = SweepJournal(journal_path)
+        resumed = autotune(
+            BenchmarkRunner("aocl", ntimes=1), self.AXES,
+            seed=self._seed(), budget=20, journal=journal, resume=True,
+        )
+        assert journal.reused == first.evaluations_used
+        assert journal.executed == 0  # nothing re-ran
+        assert resumed.trajectory == first.trajectory
+        assert resumed.best.fingerprint() == first.best.fingerprint()
+        assert resumed.evaluations_used == first.evaluations_used
