@@ -33,8 +33,10 @@ from .core import (
     TuningParameters,
     Watchdog,
     ascii_chart,
+    compact_journal,
     explore,
     failure_table,
+    fsck_journal,
     generate,
     metrics_table,
     results_table,
@@ -47,6 +49,11 @@ from .ocl.platform import get_platforms
 from .units import format_bandwidth, format_size, parse_size
 
 __all__ = ["main", "build_parser"]
+
+#: exit status of a campaign drained by SIGTERM/SIGINT (the shell
+#: convention for "terminated by signal", distinguishing a graceful
+#: drain from both success (0) and usage errors (2))
+EXIT_INTERRUPTED = 130
 
 _FIGURES = {
     "fig1a": lambda: figures.fig1a_array_size(),
@@ -138,14 +145,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--resume",
         action="store_true",
-        help="skip points already completed in --journal (restored, not re-run)",
+        help="skip points already completed in --journal (restored, not "
+        "re-run); fails if the journal is missing or empty — resuming "
+        "nothing usually means a typo'd path",
+    )
+    sweep.add_argument(
+        "--resume-or-start",
+        action="store_true",
+        help="like --resume, but fall back to a fresh sweep when the "
+        "journal is missing or empty (for idempotent wrappers)",
     )
     sweep.add_argument(
         "--durable-journal",
         action="store_true",
-        help="fsync the journal after every point, so it survives hard "
-        "worker/host kills (slower; implies --journal is trustworthy "
-        "after a crash)",
+        help="fsync the journal (and, once, its directory) after every "
+        "point, so it survives hard worker/host kills and power loss "
+        "(slower; implies --journal is trustworthy after a crash)",
+    )
+    sweep.add_argument(
+        "--rotate-journal",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seal the journal into a .seg-NNNNN segment every N records "
+        "(checkpoint with 'mp-stream journal compact')",
     )
     sweep.add_argument(
         "--inject-faults",
@@ -226,7 +249,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="restore evaluations already in --journal instead of re-running "
-        "them (the trajectory replays identically)",
+        "them (the trajectory replays identically); fails if the journal "
+        "is missing or empty",
+    )
+    tune.add_argument(
+        "--resume-or-start",
+        action="store_true",
+        help="like --resume, but fall back to a fresh tuning run when the "
+        "journal is missing or empty",
+    )
+    tune.add_argument(
+        "--durable-journal",
+        action="store_true",
+        help="fsync the journal after every evaluation (see sweep "
+        "--durable-journal)",
     )
 
     energy = sub.add_parser(
@@ -240,6 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument("before", help="JSONL result file (baseline)")
     comp.add_argument("after", help="JSONL result file (new run)")
+
+    jr = sub.add_parser(
+        "journal", help="inspect and maintain campaign journals (WAL v2)"
+    )
+    jr_sub = jr.add_subparsers(dest="journal_command", required=True)
+    jr_fsck = jr_sub.add_parser(
+        "fsck",
+        help="verify every record of a journal family (CRC framing, "
+        "fingerprints, torn tail); read-only, exit 1 when damaged",
+    )
+    jr_fsck.add_argument("path", help="the journal's live file path")
+    jr_compact = jr_sub.add_parser(
+        "compact",
+        help="checkpoint-compact a journal family into one all-v2 live "
+        "file (dedups superseded records, upgrades v1, unlinks segments)",
+    )
+    jr_compact.add_argument("path", help="the journal's live file path")
+    jr_compact.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsyncs during compaction (faster, less durable)",
+    )
 
     gs = sub.add_parser(
         "gpustream", help="run the GPU-STREAM baseline (the paper's ref. [3])"
@@ -559,7 +617,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = ParameterSweep(base=base, axes=axes)
     runner = _make_runner(args, args.ntimes)
     journal = (
-        SweepJournal(args.journal, durable=args.durable_journal)
+        SweepJournal(
+            args.journal,
+            durable=args.durable_journal,
+            rotate_records=args.rotate_journal,
+        )
         if args.journal
         else None
     )
@@ -573,8 +635,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             journal=journal,
             resume=args.resume,
+            resume_or_start=args.resume_or_start,
             progress=reporter,
             max_worker_restarts=args.max_worker_restarts,
+            handle_signals=True,
         )
         points = list(sweep.points())
         results = scheduler.run(points, skipped=len(sweep.skipped))
@@ -622,6 +686,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             + (f", {journal.discarded} discarded" if journal.discarded else "")
             + f" -> {journal.path}"
         )
+    _warn_journal_health(journal, scheduler)
     _report_obs(session)
     if args.csv:
         results.to_csv(args.csv)
@@ -631,7 +696,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         n = save_results(results, args.save)
         print(f"appended {n} results to {args.save}")
+    if scheduler.interrupted is not None:
+        print(
+            f"interrupted by {scheduler.interrupted}: "
+            f"{scheduler.cancelled} point(s) cancelled, journal "
+            f"checkpointed — rerun with --resume to finish",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 0
+
+
+def _warn_journal_health(
+    journal: SweepJournal | None, scheduler: CampaignScheduler | None = None
+) -> None:
+    """Operator-facing stderr warnings for journal data loss/degradation."""
+    if journal is not None and journal.discarded:
+        report = journal.load_report
+        breakdown = (
+            f" (torn tail: {report.torn_tail}, corrupt: {report.corrupt}, "
+            f"stale: {report.stale})"
+            if report is not None
+            else ""
+        )
+        print(
+            f"warning: {journal.discarded} journal record(s) dropped on "
+            f"load{breakdown}; damaged lines are preserved in "
+            f"{journal.path}.quarantine and the affected points re-ran "
+            f"— see 'mp-stream journal fsck'",
+            file=sys.stderr,
+        )
+    if scheduler is not None and scheduler.journal_degraded:
+        print(
+            f"warning: journal failed mid-sweep and was quarantined "
+            f"({scheduler.journal_error}); the campaign finished "
+            f"in-memory without durability",
+            file=sys.stderr,
+        )
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -702,7 +803,11 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             "unroll": [1, 2, 4],
         }
     runner = _make_runner(args, args.ntimes)
-    journal = SweepJournal(args.journal) if args.journal else None
+    journal = (
+        SweepJournal(args.journal, durable=args.durable_journal)
+        if args.journal
+        else None
+    )
     with _obs_session(args) as session:
         out = autotune(
             runner,
@@ -713,6 +818,7 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             backend=args.backend,
             journal=journal,
             resume=args.resume,
+            resume_or_start=args.resume_or_start,
         )
     _report_obs(session)
     print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
@@ -721,6 +827,7 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             f"journal: {journal.reused} restored, {journal.executed} executed"
             f" -> {journal.path}"
         )
+    _warn_journal_health(journal)
     for desc, bw in out.trajectory:
         print(f"  -> {desc}: {bw:.3f} GB/s")
     best = out.best
@@ -729,6 +836,26 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
         f"{format_bandwidth(best.bandwidth_gbs * 1e9)}"
     )
     return 0 if best.ok else 1
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    path = Path(args.path)
+    if args.journal_command == "fsck":
+        report = fsck_journal(path)
+        print(report.describe())
+        if not report.files:
+            print(f"error: no journal found at {path}", file=sys.stderr)
+            return 2
+        return 0 if report.clean else 1
+    assert args.journal_command == "compact"
+    if not fsck_journal(path).files:
+        print(f"error: no journal found at {path}", file=sys.stderr)
+        return 2
+    kept = compact_journal(path, durable=not args.no_fsync)
+    print(f"compacted {path} -> {kept} record(s), v2, single live file")
+    return 0
 
 
 def _cmd_energy(args: argparse.Namespace) -> int:
@@ -972,6 +1099,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "autotune": _cmd_autotune,
         "energy": _cmd_energy,
         "compare": _cmd_compare,
+        "journal": _cmd_journal,
         "gpustream": _cmd_gpustream,
         "selfcheck": _cmd_selfcheck,
         "verify": _cmd_verify,

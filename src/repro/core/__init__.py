@@ -18,9 +18,14 @@ from .autotune import AutotuneResult, autotune
 from .engine import STAGES, EngineStats, ExecutionEngine, Watchdog, WorkerSpec
 from .generator import GeneratedKernel, generate
 from .history import (
+    JOURNAL_SCHEMA,
+    TORN_WRITE_EXIT_CODE,
     CompareEntry,
+    JournalFsck,
     SweepJournal,
+    compact_journal,
     compare_results,
+    fsck_journal,
     load_results,
     point_fingerprint,
     save_results,
@@ -105,6 +110,11 @@ __all__ = [
     "compare_results",
     "CompareEntry",
     "SweepJournal",
+    "JournalFsck",
+    "fsck_journal",
+    "compact_journal",
+    "JOURNAL_SCHEMA",
+    "TORN_WRITE_EXIT_CODE",
     "point_fingerprint",
     "roofline_point",
     "RooflinePoint",

@@ -68,6 +68,7 @@ def autotune(
     backend: str | None = None,
     journal: SweepJournal | str | Path | None = None,
     resume: bool = False,
+    resume_or_start: bool = False,
     max_worker_restarts: int = 2,
 ) -> AutotuneResult:
     """Greedy coordinate descent over ``axes`` starting from ``seed``.
@@ -104,6 +105,7 @@ def autotune(
         jobs=jobs,
         journal=journal,
         resume=resume,
+        resume_or_start=resume_or_start,
         max_worker_restarts=max_worker_restarts,
     )
 

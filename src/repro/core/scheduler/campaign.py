@@ -28,14 +28,33 @@ An ``"error"`` outcome — the engine *raised*, which per-point failures
 never do — still aborts the campaign as a
 :class:`~repro.errors.SweepError` naming the grid point: that is an
 engine bug, and requeueing a bug would loop forever.
+
+Graceful shutdown and journal degradation
+-----------------------------------------
+With ``handle_signals=True`` (the CLI's default for ``sweep``) the
+scheduler converts SIGTERM/SIGINT into a *drain*: pending tasks are
+cancelled, in-flight points finish and are journaled, the journal gets
+a final :meth:`~repro.core.history.SweepJournal.sync` checkpoint, and
+:attr:`CampaignScheduler.interrupted` names the signal so the CLI can
+exit 130 instead of 0 — ``--resume`` later picks up exactly where the
+drain stopped.
+
+A journal that *itself* fails mid-sweep (ENOSPC, a dying disk, the
+``journal_fsync``/``disk_full`` fault sites) degrades rather than
+kills: the on-disk family is quarantined for post-mortem, a
+``journal_degraded`` event is emitted, and the campaign keeps running
+in memory — losing durability must cost a re-run, never the hours of
+results already in RAM.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from ...errors import SweepError
+from ...errors import JournalError, SweepError
 from ...obs import events as obs_events
 from ...obs import metrics as obs_metrics
 from ...obs import trace as obs_trace
@@ -73,8 +92,10 @@ class CampaignScheduler:
         watchdog: object | None = None,
         journal: SweepJournal | str | Path | None = None,
         resume: bool = False,
+        resume_or_start: bool = False,
         progress: Callable[[RunResult], None] | None = None,
         max_worker_restarts: int = 2,
+        handle_signals: bool = False,
     ):
         if jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {jobs}")
@@ -82,6 +103,7 @@ class CampaignScheduler:
             raise SweepError(
                 f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
             )
+        resume = resume or resume_or_start
         if resume and journal is None:
             raise SweepError("resume=True requires a journal")
         if backend is not None and executor is not None:
@@ -97,23 +119,50 @@ class CampaignScheduler:
         self.watchdog = watchdog
         if journal is not None and not isinstance(journal, SweepJournal):
             journal = SweepJournal(journal)
+        if journal is not None and journal.faults is None:
+            # wire the journal into the campaign's seeded fault plan so
+            # the journal_write/journal_fsync/disk_full sites fire on
+            # reproducible schedules
+            journal.faults = getattr(self.engine, "faults", None)
         self.journal = journal
         self.resume = resume
         self.progress = progress
         self.max_worker_restarts = max_worker_restarts
+        self.handle_signals = handle_signals
         #: completed results by point key: the journal's contents when
         #: resuming, plus everything finished by this scheduler since
         self._restored: dict[str, RunResult] = (
             journal.load() if (resume and journal is not None) else {}
         )
+        if resume and not resume_or_start and not self._restored:
+            assert journal is not None
+            state = (
+                "has no restorable records"
+                if journal.exists()
+                else "does not exist"
+            )
+            raise SweepError(
+                f"cannot resume: journal {journal.path} {state}; start the "
+                "campaign without --resume, or pass --resume-or-start to "
+                "fall back to a fresh sweep"
+            )
         #: executor backend the last :meth:`run` actually used
         self.backend_used: str | None = None
+        #: signal name (``"SIGTERM"``/``"SIGINT"``) when a graceful
+        #: shutdown drained the campaign, else ``None``
+        self.interrupted: str | None = None
+        #: the journal failed mid-sweep and was quarantined; the
+        #: campaign finished (or is finishing) in-memory
+        self.journal_degraded = False
+        self.journal_error = ""
+        self._stop_signal: str | None = None
         # campaign-lifetime counters (accumulate across run() batches)
         self.crashes = 0  #: crash outcomes observed (worker deaths)
         self.requeues = 0  #: crashed points resubmitted
         self.crash_failures = 0  #: points that exhausted the restart budget
         self.deduped = 0  #: duplicate grid points served from their twin
         self.progress_errors = 0  #: progress-callback exceptions swallowed
+        self.cancelled = 0  #: pending points withdrawn by a shutdown drain
 
     # -- scheduling --------------------------------------------------------
 
@@ -174,58 +223,100 @@ class CampaignScheduler:
             deduped=sum(len(v) for v in aliases.values()),
         )
         requeued_here = 0
-        with obs_trace.span(
-            "sweep", "sweep", target=target, points=len(points), jobs=self.jobs
-        ):
-            if queue:
-                with executor.session(
-                    self.engine, watchdog=self.watchdog
-                ) as session:
-                    for task in queue:
-                        session.submit(task)
-                    outstanding = len(queue)
-                    obs_metrics.set_gauge("scheduler.queue_depth", outstanding)
-                    while outstanding:
-                        outcome = session.next_outcome()
-                        task = outcome.task
-                        if outcome.kind == "done":
-                            assert outcome.result is not None
-                            self._finish(
-                                slots, keys, aliases, task.index, outcome.result
-                            )
-                            outstanding -= 1
-                        elif outcome.kind == "crash":
-                            self.crashes += 1
-                            if task.restarts < self.max_worker_restarts:
-                                self.requeues += 1
-                                requeued_here += 1
-                                obs_metrics.count("scheduler.requeues")
-                                obs_events.emit(
-                                    "point_requeued",
-                                    point=task.key,
-                                    target=target,
-                                    restarts=task.restarts + 1,
-                                )
-                                session.submit(task.requeued())
-                            else:
-                                self.crash_failures += 1
-                                self._finish(
-                                    slots,
-                                    keys,
-                                    aliases,
-                                    task.index,
-                                    self._crash_failure(task, executor.name),
-                                )
-                                outstanding -= 1
-                        else:  # an engine bug: abort the campaign loudly
-                            raise SweepError(
-                                f"sweep worker crashed at grid point "
-                                f"{task.index} ({task.params.describe()}): "
-                                f"{outcome.error}"
-                            ) from outcome.exception
+        previous_handlers = self._install_signal_handlers()
+        try:
+            with obs_trace.span(
+                "sweep", "sweep", target=target, points=len(points),
+                jobs=self.jobs,
+            ):
+                if queue:
+                    with executor.session(
+                        self.engine, watchdog=self.watchdog
+                    ) as session:
+                        for task in queue:
+                            session.submit(task)
+                        outstanding = len(queue)
                         obs_metrics.set_gauge(
                             "scheduler.queue_depth", outstanding
                         )
+                        while outstanding:
+                            if (
+                                self._stop_signal is not None
+                                and self.interrupted is None
+                            ):
+                                # graceful shutdown: withdraw the queue,
+                                # drain what is already in flight
+                                cancelled = session.cancel_pending()
+                                outstanding -= len(cancelled)
+                                self.cancelled += len(cancelled)
+                                self.interrupted = self._stop_signal
+                                obs_metrics.count("scheduler.interrupts")
+                                obs_events.emit(
+                                    "sweep_interrupted",
+                                    target=target,
+                                    signal=self.interrupted,
+                                    cancelled=len(cancelled),
+                                    in_flight=outstanding,
+                                )
+                                if not outstanding:
+                                    break
+                            outcome = session.next_outcome()
+                            task = outcome.task
+                            if outcome.kind == "done":
+                                assert outcome.result is not None
+                                self._finish(
+                                    slots, keys, aliases, task.index,
+                                    outcome.result,
+                                )
+                                outstanding -= 1
+                            elif outcome.kind == "crash":
+                                self.crashes += 1
+                                if self.interrupted is not None:
+                                    # mid-drain: neither requeue (that
+                                    # would extend the shutdown) nor
+                                    # record a budget failure (resume
+                                    # must replay the crash-free
+                                    # schedule) — the point just re-runs
+                                    # on resume
+                                    self.cancelled += 1
+                                    outstanding -= 1
+                                elif task.restarts < self.max_worker_restarts:
+                                    self.requeues += 1
+                                    requeued_here += 1
+                                    obs_metrics.count("scheduler.requeues")
+                                    obs_events.emit(
+                                        "point_requeued",
+                                        point=task.key,
+                                        target=target,
+                                        restarts=task.restarts + 1,
+                                    )
+                                    session.submit(task.requeued())
+                                else:
+                                    self.crash_failures += 1
+                                    self._finish(
+                                        slots,
+                                        keys,
+                                        aliases,
+                                        task.index,
+                                        self._crash_failure(
+                                            task, executor.name
+                                        ),
+                                    )
+                                    outstanding -= 1
+                            else:  # an engine bug: abort the campaign loudly
+                                raise SweepError(
+                                    f"sweep worker crashed at grid point "
+                                    f"{task.index} ({task.params.describe()}): "
+                                    f"{outcome.error}"
+                                ) from outcome.exception
+                            obs_metrics.set_gauge(
+                                "scheduler.queue_depth", outstanding
+                            )
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+        if self.interrupted is not None and self.journal is not None:
+            # final checkpoint: everything drained is on disk before exit
+            self.journal.sync()
 
         results = ResultSet(r for r in slots if r is not None)
         kinds: dict[str, int] = {}
@@ -239,10 +330,33 @@ class CampaignScheduler:
             failures=len(results.failed()),
             failure_kinds=dict(sorted(kinds.items())),
             requeues=requeued_here,
+            interrupted=self.interrupted or "",
         )
         return results
 
     # -- internals ---------------------------------------------------------
+
+    def _install_signal_handlers(self) -> dict[int, object]:
+        """SIGTERM/SIGINT → drain flag; only from the main thread."""
+        if (
+            not self.handle_signals
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return {}
+        previous: dict[int, object] = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, self._on_signal)
+        return previous
+
+    def _restore_signal_handlers(self, previous: dict[int, object]) -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)  # type: ignore[arg-type]
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        # set a flag only — the run loop drains at the next outcome;
+        # a second signal keeps the same graceful path (the user can
+        # always kill -9 an unresponsive campaign)
+        self._stop_signal = signal.Signals(signum).name
 
     def _resolve_executor(self, todo: int) -> Executor:
         if self.executor is not None:
@@ -265,7 +379,10 @@ class CampaignScheduler:
         slots[index] = result
         key = keys[index]
         if self.journal is not None:
-            self.journal.record(key, result)
+            try:
+                self.journal.record(key, result)
+            except JournalError as exc:
+                self._degrade_journal(exc)
         if self.resume:
             self._restored[key] = result
         self._report(result)
@@ -274,6 +391,30 @@ class CampaignScheduler:
         for alias_index in aliases.pop(key, ()):
             slots[alias_index] = result
             self._report(result)
+
+    def _degrade_journal(self, exc: JournalError) -> None:
+        """The journal failed mid-sweep: quarantine it, keep running.
+
+        Durability is gone but the campaign is not — results stay
+        in-memory (and in :attr:`_restored` for later batches), the
+        operator is told via the ``journal_degraded`` event and the
+        CLI warning, and the quarantined family is preserved for
+        post-mortem instead of being appended to by a journal that is
+        known to be failing.
+        """
+        journal = self.journal
+        assert journal is not None
+        self.journal = None
+        self.journal_degraded = True
+        self.journal_error = f"{type(exc).__name__}: {exc}"
+        quarantined = journal.quarantine()
+        obs_metrics.count("scheduler.journal_degraded")
+        obs_events.emit(
+            "journal_degraded",
+            path=str(journal.path),
+            error=self.journal_error,
+            quarantined=str(quarantined) if quarantined is not None else "",
+        )
 
     def _report(self, result: RunResult) -> None:
         if self.progress is None:

@@ -160,6 +160,12 @@ class Executor:
     ``next_outcome()``
         Block until any outstanding task resolves and return its
         :class:`Outcome` (completion order, not submission order).
+    ``cancel_pending()``
+        Withdraw every task that has not started executing and return
+        the cancelled :class:`Task` list; in-flight points keep
+        running. This is the graceful-shutdown drain: on SIGTERM the
+        scheduler cancels the queue, collects what is already in
+        flight, checkpoints the journal and exits.
 
     Closing the session cancels queued-but-unstarted tasks and releases
     workers. Executors are stateless factories — one instance can open
@@ -222,6 +228,11 @@ class _SerialSession(_SessionBase):
         except Exception as exc:
             return Outcome.bug(task, f"{type(exc).__name__}: {exc}", exc)
         return Outcome.done(task, result)
+
+    def cancel_pending(self) -> list[Task]:
+        cancelled = list(self._tasks)
+        self._tasks.clear()
+        return cancelled
 
     def close(self) -> None:
         self._tasks.clear()
@@ -286,6 +297,19 @@ class _ThreadSession(_SessionBase):
 
     def next_outcome(self) -> Outcome:
         return self._outcomes.get()
+
+    def cancel_pending(self) -> list[Task]:
+        # tasks already claimed by a worker thread are in flight and
+        # keep running; only the queue backlog is withdrawable
+        cancelled: list[Task] = []
+        try:
+            while True:
+                task = self._tasks.get_nowait()
+                if task is not None:  # don't eat shutdown sentinels
+                    cancelled.append(task)
+        except queue.Empty:
+            pass
+        return cancelled
 
     def close(self) -> None:
         # drop queued-but-unstarted work (the cancel_futures analogue),
@@ -510,6 +534,13 @@ class _ProcessSession(_SessionBase):
         if task is None:  # died idle: nothing was in flight
             return None
         return Outcome.crash(task)
+
+    def cancel_pending(self) -> list[Task]:
+        # undispatched backlog only: a task already sent down a worker
+        # pipe is in flight and drains normally
+        cancelled = list(self._pending)
+        self._pending.clear()
+        return cancelled
 
     def _merge_stats(self, snapshot: dict) -> None:
         stats = getattr(self._engine, "stats", None)

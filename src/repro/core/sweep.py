@@ -118,7 +118,9 @@ def explore(
     watchdog: Watchdog | None = None,
     journal: SweepJournal | str | Path | None = None,
     resume: bool = False,
+    resume_or_start: bool = False,
     max_worker_restarts: int = 2,
+    handle_signals: bool = False,
 ) -> ResultSet:
     """Run every point of a sweep on a target.
 
@@ -143,7 +145,11 @@ def explore(
     points whose parameter fingerprint the journal already holds are
     restored instead of re-executed (and counted in
     ``journal.reused``), so an interrupted campaign picks up where it
-    died with byte-identical results.
+    died with byte-identical results. ``resume=True`` against a missing
+    or empty journal is an error — resuming nothing usually means a
+    typo'd path — unless ``resume_or_start=True`` opts into falling
+    back to a fresh sweep. ``handle_signals=True`` turns SIGTERM/SIGINT
+    into a graceful drain (see ``docs/SCHEDULING.md``).
 
     A worker *death* mid-point is requeued up to ``max_worker_restarts``
     times, then recorded as a ``"worker_crash"`` data point. A worker
@@ -159,8 +165,10 @@ def explore(
         watchdog=watchdog,
         journal=journal,
         resume=resume,
+        resume_or_start=resume_or_start,
         progress=progress,
         max_worker_restarts=max_worker_restarts,
+        handle_signals=handle_signals,
     )
     points = list(sweep.points())
     return scheduler.run(points, skipped=len(sweep.skipped))

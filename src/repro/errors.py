@@ -31,6 +31,9 @@ __all__ = [
     "SweepError",
     "PointTimeoutError",
     "WorkerCrashError",
+    "JournalError",
+    "JournalCorruptionError",
+    "DiskFullError",
     "failure_kind",
 ]
 
@@ -219,6 +222,32 @@ class WorkerCrashError(BenchmarkError):
     """
 
 
+class JournalError(BenchmarkError):
+    """The campaign journal failed an I/O operation (append, fsync).
+
+    Raised by :class:`~repro.core.history.SweepJournal` when a record
+    cannot be durably appended — a real ``OSError`` from the
+    filesystem, or an injected ``journal_fsync`` fault. The campaign
+    scheduler treats this as *degradation, not death*: the journal is
+    quarantined, a ``journal_degraded`` event is emitted, and the
+    campaign keeps running in memory (docs/SCHEDULING.md).
+    """
+
+
+class JournalCorruptionError(JournalError):
+    """A journal record failed its integrity checks.
+
+    CRC32/length framing mismatch, unparsable framing, or a stored
+    measurement fingerprint that no longer matches the reconstructed
+    result. ``mp-stream journal fsck`` reports these; on load they are
+    quarantined to a ``.quarantine`` sidecar — never silently dropped.
+    """
+
+
+class DiskFullError(JournalError):
+    """The journal hit ``ENOSPC`` (or an injected ``disk_full`` fault)."""
+
+
 # --------------------------------------------------------------------------
 # Failure taxonomy
 # --------------------------------------------------------------------------
@@ -232,7 +261,8 @@ def failure_kind(exc: BaseException | None) -> str:
 
     Returns one of ``"timeout"``, ``"verify_mismatch"``,
     ``"validation"``, ``"build"``, ``"launch"``, ``"compile"``,
-    ``"runtime"``, ``"worker_crash"``, ``"harness"`` or
+    ``"runtime"``, ``"worker_crash"``, ``"disk_full"``,
+    ``"journal_corrupt"``, ``"journal_io"``, ``"harness"`` or
     ``"internal"`` — the value recorded on
     :attr:`~repro.core.results.RunResult.failure_kind` and aggregated
     by :meth:`~repro.core.results.ResultSet.failure_kinds`.
@@ -256,5 +286,8 @@ _FAILURE_KINDS = (
     (OclcError, "compile"),
     (OclError, "runtime"),
     (WorkerCrashError, "worker_crash"),
+    (DiskFullError, "disk_full"),
+    (JournalCorruptionError, "journal_corrupt"),
+    (JournalError, "journal_io"),
     (BenchmarkError, "harness"),
 )

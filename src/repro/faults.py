@@ -51,6 +51,25 @@ Sites (see :data:`FAULT_SITES`):
     schedules are deterministic and backend-independent; exhausting the
     scheduler's restart budget records a permanent ``"worker_crash"``
     failure.
+``journal_write``
+    A *torn write*: the process dies mid-``write(2)`` while appending a
+    journal record, leaving a truncated final line on disk — consulted
+    by :class:`~repro.core.history.SweepJournal`, which writes a
+    deterministic prefix of the record and hard-kills the process
+    (:data:`~repro.core.history.TORN_WRITE_EXIT_CODE`). The attempt
+    number in the draw is the journal *sequence number* (records ever
+    appended), not a per-point retry count, so a resumed journal does
+    not re-fire the same tear forever.
+``journal_fsync``
+    The per-record ``fsync`` of a ``--durable-journal`` fails
+    (``EIO``-style) — the journal raises
+    :class:`~repro.errors.JournalError` and the scheduler degrades to
+    in-memory operation instead of aborting the campaign.
+``disk_full``
+    The journal append hits ``ENOSPC``
+    (:class:`~repro.errors.DiskFullError`); like ``journal_fsync``,
+    surfaces as a ``journal_degraded`` event, not a dead campaign.
+    Also keyed on the journal sequence number.
 
 Specs are parsed from compact CLI text::
 
@@ -96,6 +115,9 @@ FAULT_SITES = (
     "stall",
     "verify",
     "worker_crash",
+    "journal_write",
+    "journal_fsync",
+    "disk_full",
 )
 
 #: wall seconds a stalled point hangs when no watchdog cancels it
@@ -288,6 +310,28 @@ class FaultPlan:
         flat = victim.reshape(-1).view(np.uint8)
         if flat.size:
             flat[int(rng.integers(flat.size))] ^= 0xFF
+
+    def torn_write(self, point_key: str, attempt: int, nbytes: int) -> int | None:
+        """How many bytes of an ``nbytes``-byte journal record survive a tear.
+
+        Returns ``None`` when the ``journal_write`` fault does not fire
+        at this ``(point_key, sequence-number)`` draw, otherwise a
+        deterministic prefix length in ``[1, nbytes - 1]`` — the torn
+        record is always *partial*: never empty (that would be
+        indistinguishable from "not written"), never whole (that would
+        be a clean append). Records of fewer than 2 bytes cannot tear.
+        """
+        if nbytes < 2 or not self.should_fire("journal_write", point_key, attempt):
+            return None
+        rng = make_rng(
+            int.from_bytes(
+                hashlib.sha256(
+                    f"{self.spec.seed}\x1ftear\x1f{attempt}\x1f{point_key}".encode()
+                ).digest()[:8],
+                "little",
+            )
+        )
+        return 1 + int(rng.integers(nbytes - 1))
 
     def stall(
         self,

@@ -19,6 +19,7 @@ As with the other sinks, instrumented code calls the module-level
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -29,11 +30,17 @@ __all__ = ["EventLog", "active_log", "set_log", "use_log", "emit"]
 
 
 class EventLog:
-    """Append-only JSONL event stream, flushed per event (thread-safe)."""
+    """Append-only JSONL event stream, flushed per event (thread-safe).
 
-    def __init__(self, path: str | Path):
+    ``durable=True`` additionally ``fsync``\\ s after every event — the
+    same opt-in contract as ``SweepJournal(durable=True)``, for runs
+    whose post-mortem narrative must survive a hard kill or power loss.
+    """
+
+    def __init__(self, path: str | Path, *, durable: bool = False):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
         self._lock = threading.Lock()
         self._fh: IO[str] | None = self.path.open("a")
         #: events written through this log instance
@@ -54,6 +61,8 @@ class EventLog:
                 raise ValueError(f"event log {self.path} is closed")
             self._fh.write(line + "\n")
             self._fh.flush()
+            if self.durable:
+                os.fsync(self._fh.fileno())
             self.emitted += 1
 
     def close(self) -> None:

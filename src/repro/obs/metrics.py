@@ -6,8 +6,12 @@ counts hits and misses, the memory simulators count bytes, rows and
 cache lines, the queue counts commands. The registry gives all of them
 one sink with stable, dot-separated metric names
 (``engine.points``, ``build_cache.frontend_hits``,
-``memsim.dram.bytes``, ``queue.h2d_bytes``, and the verification
-stage's ``verify.points`` / ``verify.mismatches``) and one snapshot
+``memsim.dram.bytes``, ``queue.h2d_bytes``, the verification
+stage's ``verify.points`` / ``verify.mismatches``, the crash-consistent
+journal's ``journal.records`` / ``journal.rotations`` /
+``journal.dropped_records`` / ``journal.v1_records``, and the
+scheduler's shutdown counters ``scheduler.interrupts`` /
+``scheduler.journal_degraded``) and one snapshot
 format, exportable as JSON via ``--metrics`` and renderable with
 :func:`repro.core.report.metrics_table`.
 

@@ -177,7 +177,9 @@ class TestJournalDurability:
         monkeypatch.setattr(history.os, "fsync", lambda fd: synced.append(fd))
         journal = SweepJournal(tmp_path / "durable.jsonl", durable=True)
         explore(_engine(), _sweep(), journal=journal)
-        assert len(synced) == 6
+        # one fsync per record, plus the parent-directory fsync on first
+        # append — without it a crash after creation can lose the file
+        assert len(synced) == 7
 
     def test_default_journal_does_not_fsync(self, tmp_path, monkeypatch):
         import repro.core.history as history
