@@ -14,7 +14,9 @@ Mirrors the original benchmark's build-script flags::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 from . import figures, obs
@@ -299,6 +301,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip fsyncs during compaction (faster, less durable)",
     )
 
+    ob = sub.add_parser(
+        "obs",
+        help="observability utilities: serve campaign health from a journal",
+    )
+    ob_sub = ob.add_subparsers(dest="obs_command", required=True)
+    ob_serve = ob_sub.add_parser(
+        "serve",
+        help="watch a campaign from outside its process: derive health "
+        "from the on-disk journal (read-only) and expose /metrics, "
+        "/health and /campaign over HTTP",
+    )
+    ob_serve.add_argument(
+        "--journal",
+        required=True,
+        metavar="PATH",
+        help="the campaign journal's live file path",
+    )
+    ob_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = ephemeral; the bound URL is printed)",
+    )
+    ob_serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: localhost)"
+    )
+    ob_serve.add_argument(
+        "--once",
+        action="store_true",
+        help="print one /metrics rendering to stdout and exit instead of "
+        "serving (for scripts and CI)",
+    )
+
     gs = sub.add_parser(
         "gpustream", help="run the GPU-STREAM baseline (the paper's ref. [3])"
     )
@@ -460,6 +495,15 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         help="append structured JSONL events (per-point records carry the "
         "journal's point fingerprint)",
     )
+    parser.add_argument(
+        "--serve-obs",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="serve live /metrics (Prometheus text), /health and /campaign "
+        "on localhost:PORT for the duration of the command (0 = pick an "
+        "ephemeral port; implies an in-memory metrics registry)",
+    )
     level = parser.add_mutually_exclusive_group()
     level.add_argument(
         "-v",
@@ -482,13 +526,19 @@ def _verbosity(args: argparse.Namespace) -> int:
     return 1 + getattr(args, "verbose", 0)
 
 
+@contextmanager
 def _obs_session(args: argparse.Namespace):
     """The observability sinks this invocation asked for, as a context."""
-    return obs.session(
+    with obs.session(
         trace=getattr(args, "trace", None),
         metrics=getattr(args, "metrics", None),
         log_json=getattr(args, "log_json", None),
-    )
+        serve=getattr(args, "serve_obs", None),
+    ) as session:
+        if session.server is not None:
+            # stderr, so scripts scraping stdout tables are unaffected
+            print(f"serving observability at {session.server.url}", file=sys.stderr)
+        yield session
 
 
 def _report_obs(session: obs.ObsSession) -> None:
@@ -643,6 +693,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         points = list(sweep.points())
         results = scheduler.run(points, skipped=len(sweep.skipped))
         campaign_status = reporter.finish()
+        # inside the session so the warnings also land in --log-json
+        _warn_journal_health(journal, scheduler)
     print()
     print(results_table(results))
     best = results.best()
@@ -686,7 +738,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             + (f", {journal.discarded} discarded" if journal.discarded else "")
             + f" -> {journal.path}"
         )
-    _warn_journal_health(journal, scheduler)
     _report_obs(session)
     if args.csv:
         results.to_csv(args.csv)
@@ -710,7 +761,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _warn_journal_health(
     journal: SweepJournal | None, scheduler: CampaignScheduler | None = None
 ) -> None:
-    """Operator-facing stderr warnings for journal data loss/degradation."""
+    """Operator-facing warnings for journal data loss/degradation.
+
+    Routed through :func:`repro.obs.warn` (one structured ``warning``
+    event plus the stderr line), so the warnings land in ``--log-json``
+    too — call this *inside* the obs session block.
+    """
     if journal is not None and journal.discarded:
         report = journal.load_report
         breakdown = (
@@ -719,19 +775,22 @@ def _warn_journal_health(
             if report is not None
             else ""
         )
-        print(
-            f"warning: {journal.discarded} journal record(s) dropped on "
+        obs.warn(
+            f"{journal.discarded} journal record(s) dropped on "
             f"load{breakdown}; damaged lines are preserved in "
             f"{journal.path}.quarantine and the affected points re-ran "
             f"— see 'mp-stream journal fsck'",
-            file=sys.stderr,
+            kind="journal_records_dropped",
+            path=str(journal.path),
+            dropped=journal.discarded,
         )
     if scheduler is not None and scheduler.journal_degraded:
-        print(
-            f"warning: journal failed mid-sweep and was quarantined "
+        obs.warn(
+            f"journal failed mid-sweep and was quarantined "
             f"({scheduler.journal_error}); the campaign finished "
             f"in-memory without durability",
-            file=sys.stderr,
+            kind="journal_degraded",
+            error=scheduler.journal_error,
         )
 
 
@@ -820,6 +879,8 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             resume=args.resume,
             resume_or_start=args.resume_or_start,
         )
+        # inside the session so the warnings also land in --log-json
+        _warn_journal_health(journal)
     _report_obs(session)
     print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
     if journal is not None:
@@ -827,7 +888,6 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
             f"journal: {journal.reused} restored, {journal.executed} executed"
             f" -> {journal.path}"
         )
-    _warn_journal_health(journal)
     for desc, bw in out.trajectory:
         print(f"  -> {desc}: {bw:.3f} GB/s")
     best = out.best
@@ -855,6 +915,43 @@ def _cmd_journal(args: argparse.Namespace) -> int:
         return 2
     kept = compact_journal(path, durable=not args.no_fsync)
     print(f"compacted {path} -> {kept} record(s), v2, single live file")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``mp-stream obs serve``: journal-watcher exposition server.
+
+    Read-only against the journal family (never truncates or
+    quarantines), so it is safe to point at a *live* campaign's journal
+    from another terminal — each scrape re-derives
+    :class:`~repro.obs.CampaignHealth` from the records on disk.
+    """
+    assert args.obs_command == "serve"
+    from pathlib import Path
+
+    path = Path(args.journal)
+    if not fsck_journal(path).files:
+        print(f"error: no journal found at {path}", file=sys.stderr)
+        return 2
+
+    def health_source() -> obs.CampaignHealth:
+        return obs.health_from_journal(path)
+
+    if args.once:
+        print(obs.prometheus_text(None, health_source()), end="")
+        return 0
+    server = obs.ObsServer(
+        port=args.port, host=args.host, health_source=health_source
+    )
+    print(f"serving observability at {server.url} (Ctrl-C to stop)")
+    print(f"watching journal {path} (read-only; re-read per scrape)")
+    try:
+        while True:
+            signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -1100,6 +1197,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "energy": _cmd_energy,
         "compare": _cmd_compare,
         "journal": _cmd_journal,
+        "obs": _cmd_obs,
         "gpustream": _cmd_gpustream,
         "selfcheck": _cmd_selfcheck,
         "verify": _cmd_verify,

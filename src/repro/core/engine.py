@@ -199,16 +199,19 @@ class EngineStats:
                 "stage_s": dict(self.stage_s),
             }
 
-    def merge_snapshot(self, snapshot: dict[str, object]) -> None:
+    def merge_snapshot(
+        self, snapshot: dict[str, object], *, mirror_metrics: bool = True
+    ) -> None:
         """Fold another stats sink's :meth:`snapshot` into this one.
 
         Worker *threads* share the sink directly, but worker *processes*
         (the scheduler's process backend) each accumulate into their own
-        and ship a snapshot home at shutdown — this is the receiving
-        end. The merged counters are mirrored into the obs metrics
-        registry in bulk so ``--metrics`` totals stay correct; the
-        per-point stage histograms cannot be reconstructed from an
-        aggregate and are left to the workers that observed them.
+        and ship incremental deltas home with every point outcome — this
+        is the receiving end. With ``mirror_metrics=True`` the merged
+        counters are also mirrored into the obs metrics registry in bulk
+        so ``--metrics`` totals stay correct; pass ``False`` when the
+        worker's own metric counts already arrive via the telemetry
+        relay (:mod:`repro.obs.relay`), which would double-count them.
         """
         points = int(snapshot.get("points", 0) or 0)
         failures = int(snapshot.get("failures", 0) or 0)
@@ -220,6 +223,8 @@ class EngineStats:
             self.retries += retries
             for name, seconds in stage_s.items():  # type: ignore[union-attr]
                 self.stage_s[name] = self.stage_s.get(name, 0.0) + float(seconds)
+        if not mirror_metrics:
+            return
         if points:
             obs_metrics.count("engine.points", points)
         if failures:

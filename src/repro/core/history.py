@@ -526,6 +526,23 @@ def fsck_journal(path: str | Path) -> JournalFsck:
     return _fsck_from_scan(path, _scan_family(path))
 
 
+def scan_results(path: str | Path) -> dict[str, RunResult]:
+    """Read-only restorable view of a journal family: the latest valid
+    result per point key.
+
+    Unlike :meth:`SweepJournal.load` this never truncates a torn tail
+    or writes a quarantine sidecar, so it is safe to run repeatedly
+    against the journal of a *live* campaign — it is what
+    ``mp-stream obs serve --journal`` scrapes on.
+    """
+    out: dict[str, RunResult] = {}
+    for entry in _scan_family(Path(path)).entries:
+        if entry.status in ("ok", "v1") and entry.key is not None:
+            assert entry.result is not None
+            out[entry.key] = entry.result
+    return out
+
+
 def _fsync_dir(path: Path) -> None:
     """Best-effort fsync of ``path``'s parent directory entry."""
     try:

@@ -51,11 +51,13 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ...errors import JournalError, SweepError
 from ...obs import events as obs_events
+from ...obs import health as obs_health
 from ...obs import metrics as obs_metrics
 from ...obs import trace as obs_trace
 from ..history import SweepJournal, point_fingerprint
@@ -163,6 +165,20 @@ class CampaignScheduler:
         self.deduped = 0  #: duplicate grid points served from their twin
         self.progress_errors = 0  #: progress-callback exceptions swallowed
         self.cancelled = 0  #: pending points withdrawn by a shutdown drain
+        self.worker_restarts = 0  #: worker processes respawned (all batches)
+        # live-batch state behind health_snapshot() (read from the obs
+        # server's thread; ints/refs only, so torn reads are harmless)
+        self._batch_total = 0
+        self._batch_restored = 0
+        self._batch_deduped = 0
+        self._batch_done = 0
+        self._batch_failed = 0
+        self._failure_kinds: dict[str, int] = {}
+        self._queue_depth = 0
+        self._run_t0: float | None = None
+        self._session: object | None = None
+        # the newest scheduler is what /campaign and /health report on
+        obs_health.set_campaign_source(self.health_snapshot)
 
     # -- scheduling --------------------------------------------------------
 
@@ -212,6 +228,14 @@ class CampaignScheduler:
 
         executor = self._resolve_executor(len(queue))
         self.backend_used = executor.name
+        self._batch_total = len(points)
+        self._batch_restored = restored
+        self._batch_deduped = sum(len(v) for v in aliases.values())
+        self._batch_done = restored
+        self._batch_failed = 0
+        self._failure_kinds = {}
+        self._queue_depth = len(queue)
+        self._run_t0 = time.monotonic()
         obs_events.emit(
             "sweep_started",
             target=target,
@@ -233,9 +257,11 @@ class CampaignScheduler:
                     with executor.session(
                         self.engine, watchdog=self.watchdog
                     ) as session:
+                        self._session = session
                         for task in queue:
                             session.submit(task)
                         outstanding = len(queue)
+                        self._queue_depth = outstanding
                         obs_metrics.set_gauge(
                             "scheduler.queue_depth", outstanding
                         )
@@ -309,10 +335,15 @@ class CampaignScheduler:
                                     f"{task.index} ({task.params.describe()}): "
                                     f"{outcome.error}"
                                 ) from outcome.exception
+                            self._queue_depth = outstanding
                             obs_metrics.set_gauge(
                                 "scheduler.queue_depth", outstanding
                             )
         finally:
+            session = self._session
+            if session is not None:
+                self.worker_restarts += getattr(session, "restarts", 0)
+                self._session = None
             self._restore_signal_handlers(previous_handlers)
         if self.interrupted is not None and self.journal is not None:
             # final checkpoint: everything drained is on disk before exit
@@ -333,6 +364,94 @@ class CampaignScheduler:
             interrupted=self.interrupted or "",
         )
         return results
+
+    # -- health ------------------------------------------------------------
+
+    def health_snapshot(self) -> obs_health.CampaignHealth:
+        """The live :class:`~repro.obs.health.CampaignHealth` snapshot.
+
+        Registered as the process-wide campaign source in
+        ``__init__``, so the obs server's ``/campaign`` and
+        ``/health`` endpoints (and the ``campaign_*`` gauges on
+        ``/metrics``) read it from another thread mid-batch. Reads
+        ints and object refs only — a torn read costs at most one
+        slightly stale sample, never a crash.
+        """
+        executed = max(
+            0, self._batch_done - self._batch_restored - self._batch_deduped
+        )
+        elapsed = (
+            time.monotonic() - self._run_t0
+            if self._run_t0 is not None
+            else 0.0
+        )
+        rate = executed / elapsed if elapsed > 0 and executed else 0.0
+        remaining = max(0, self._batch_total - self._batch_done)
+        eta = remaining / rate if rate > 0 else None
+
+        cache_hit_rate: float | None = None
+        stats_snapshot = getattr(self.engine, "stats_snapshot", None)
+        if callable(stats_snapshot):
+            stats = stats_snapshot()
+            hits = int(stats.get("frontend_hits", 0) or 0)
+            misses = int(stats.get("frontend_misses", 0) or 0)
+            if hits + misses:
+                cache_hit_rate = hits / (hits + misses)
+
+        session = self._session
+        workers: list[dict[str, object]] = []
+        session_restarts = 0
+        if session is not None:
+            status = getattr(session, "worker_status", None)
+            if callable(status):
+                workers = status()
+            session_restarts = getattr(session, "restarts", 0)
+
+        journal_state: dict[str, object] | None = None
+        if self.journal is not None:
+            journal_state = {
+                "path": str(self.journal.path),
+                "reused": self.journal.reused,
+                "executed": self.journal.executed,
+                "discarded": self.journal.discarded,
+                "degraded": False,
+            }
+        elif self.journal_degraded:
+            journal_state = {
+                "degraded": True,
+                "error": self.journal_error,
+            }
+
+        return obs_health.CampaignHealth(
+            verdict=obs_health.derive_verdict(
+                points_total=self._batch_total,
+                executed=executed,
+                failed=self._batch_failed,
+                crash_failures=self.crash_failures,
+                journal_degraded=self.journal_degraded,
+                interrupted=self.interrupted or "",
+            ),
+            target=str(getattr(self.engine, "target", "")),
+            backend=self.backend_used or self.backend or "",
+            jobs=self.jobs,
+            points_total=self._batch_total,
+            points_done=self._batch_done,
+            points_failed=self._batch_failed,
+            points_restored=self._batch_restored,
+            points_deduped=self._batch_deduped,
+            queue_depth=self._queue_depth,
+            elapsed_s=elapsed,
+            rate_points_per_s=rate,
+            eta_s=eta,
+            failure_kinds=dict(sorted(self._failure_kinds.items())),
+            cache_hit_rate=cache_hit_rate,
+            worker_restarts=self.worker_restarts + session_restarts,
+            requeues=self.requeues,
+            crash_failures=self.crash_failures,
+            interrupted=self.interrupted or "",
+            journal=journal_state,
+            workers=workers,
+        )
 
     # -- internals ---------------------------------------------------------
 
@@ -378,6 +497,11 @@ class CampaignScheduler:
     ) -> None:
         slots[index] = result
         key = keys[index]
+        self._batch_done += 1
+        if not result.ok:
+            self._batch_failed += 1
+            kind = result.failure_kind or "unknown"
+            self._failure_kinds[kind] = self._failure_kinds.get(kind, 0) + 1
         if self.journal is not None:
             try:
                 self.journal.record(key, result)
@@ -390,6 +514,7 @@ class CampaignScheduler:
         # progress, so reporters still see one callback per grid point)
         for alias_index in aliases.pop(key, ()):
             slots[alias_index] = result
+            self._batch_done += 1
             self._report(result)
 
     def _degrade_journal(self, exc: JournalError) -> None:

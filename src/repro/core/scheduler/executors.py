@@ -26,9 +26,12 @@ touching campaign semantics. Three implementations ship:
     parent reaps it, respawns a replacement, and reports the in-flight
     point as a crash :class:`Outcome` for the scheduler to requeue.
     Worker engines cannot share the in-process build cache, so each
-    process warms its own; final per-worker
-    :class:`~repro.core.engine.EngineStats` are merged back into the
-    parent's sink at shutdown.
+    process warms its own. Per-worker
+    :class:`~repro.core.engine.EngineStats` deltas — and, when the
+    parent has live obs sinks, buffered telemetry batches
+    (:mod:`repro.obs.relay`) — ride home with *every point outcome*,
+    so even a worker that later crashes has already banked everything
+    but its in-flight point.
 
 Worker crashes are *injectable*: the ``worker_crash`` fault site
 (:mod:`repro.faults`) is consulted once per ``(point, restarts)``
@@ -54,7 +57,10 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from ...errors import SweepError
+from ...obs import events as obs_events
 from ...obs import metrics as obs_metrics
+from ...obs import relay as obs_relay
+from ...obs import trace as obs_trace
 from ..history import (
     params_from_record,
     params_to_record,
@@ -234,6 +240,16 @@ class _SerialSession(_SessionBase):
         self._tasks.clear()
         return cancelled
 
+    def worker_status(self) -> list[dict[str, object]]:
+        return [
+            {
+                "worker": "serial",
+                "pid": os.getpid(),
+                "alive": True,
+                "point": self._tasks[0].key if self._tasks else "",
+            }
+        ]
+
     def close(self) -> None:
         self._tasks.clear()
 
@@ -311,6 +327,17 @@ class _ThreadSession(_SessionBase):
             pass
         return cancelled
 
+    def worker_status(self) -> list[dict[str, object]]:
+        return [
+            {
+                "worker": thread.name,
+                "pid": os.getpid(),
+                "alive": thread.is_alive(),
+                "point": "",
+            }
+            for thread in self._threads
+        ]
+
     def close(self) -> None:
         # drop queued-but-unstarted work (the cancel_futures analogue),
         # then let each worker drain one sentinel and exit
@@ -334,19 +361,52 @@ class _ThreadSession(_SessionBase):
 CRASH_EXIT_CODE = 3
 
 
+def _stats_delta(current: dict, last: dict) -> dict:
+    """The increment between two :class:`EngineStats` snapshots.
+
+    ``last`` is updated in place, so successive calls ship disjoint
+    deltas — the parent folds every one and never double-counts.
+    """
+    delta = {
+        "points": current["points"] - last["points"],
+        "failures": current["failures"] - last["failures"],
+        "retries": current["retries"] - last["retries"],
+        "stage_s": {
+            name: seconds - last["stage_s"].get(name, 0.0)
+            for name, seconds in current["stage_s"].items()
+        },
+    }
+    last["points"] = current["points"]
+    last["failures"] = current["failures"]
+    last["retries"] = current["retries"]
+    last["stage_s"] = dict(current["stage_s"])
+    return delta
+
+
 def _process_worker_main(
     conn: "multiprocessing.connection.Connection",
     spec: "WorkerSpec",
     watchdog: "Watchdog | None",
+    telemetry: bool,
 ) -> None:
     """One worker process: rebuild a sibling engine, serve tasks.
 
     Protocol (all over one duplex pipe): the parent sends
     ``(index, restarts, params_record)`` tuples and a ``None`` sentinel;
-    the worker replies ``("done", index, restarts, result_record)`` /
-    ``("error", index, restarts, message)`` per task and
-    ``("stats", snapshot)`` on shutdown so the parent can merge this
-    worker's :class:`~repro.core.engine.EngineStats`.
+    the worker replies ``("done", index, restarts, result_record,
+    stats_delta, telemetry_batch)`` /
+    ``("error", index, restarts, message, stats_delta, telemetry_batch)``
+    per task and ``("stats", stats_delta, telemetry_batch)`` on
+    shutdown. Stats ride home as *incremental deltas with every point
+    outcome* (not only at clean shutdown), so a worker that later gets
+    kill -9'd has already banked everything but its in-flight point.
+
+    With ``telemetry=True`` the worker carries buffering obs sinks
+    (:class:`~repro.obs.relay.WorkerTelemetry`) and flushes them as the
+    ``telemetry_batch`` field — spans, metric deltas and events the
+    parent merges into its live sinks. The batch is a separate message
+    field, never part of the result record, so result fingerprints are
+    byte-identical with telemetry on or off.
 
     An injected ``worker_crash`` fault hard-kills the process with
     ``os._exit`` *before* the point runs — no flush, no goodbye, the
@@ -355,21 +415,30 @@ def _process_worker_main(
     """
     # under a fork start method the child inherits the parent's live
     # obs sinks; writing to them from here would interleave with the
-    # parent, so a worker always starts with observability off
+    # parent, so a worker first resets them — then installs its own
+    # buffering variants when the parent asked for telemetry
     from ...obs import set_log, set_registry, set_tracer
 
     set_tracer(None)
     set_registry(None)
     set_log(None)
+    sinks = obs_relay.WorkerTelemetry() if telemetry else None
 
     from ..engine import ExecutionEngine
 
     engine = ExecutionEngine.from_worker_spec(spec)
+    last_stats = {"points": 0, "failures": 0, "retries": 0, "stage_s": {}}
+
+    def flush() -> tuple[dict, dict | None]:
+        delta = _stats_delta(engine.stats.snapshot(), last_stats)
+        return delta, (sinks.drain() if sinks is not None else None)
+
     try:
         while True:
             message = conn.recv()
             if message is None:
-                conn.send(("stats", engine.stats.snapshot()))
+                delta, batch = flush()
+                conn.send(("stats", delta, batch))
                 return
             index, restarts, params_record = message
             params = params_from_record(params_record)
@@ -381,9 +450,21 @@ def _process_worker_main(
             try:
                 result = engine.run(params, watchdog=watchdog)
             except Exception as exc:
-                conn.send(("error", index, restarts, f"{type(exc).__name__}: {exc}"))
+                delta, batch = flush()
+                conn.send(
+                    (
+                        "error",
+                        index,
+                        restarts,
+                        f"{type(exc).__name__}: {exc}",
+                        delta,
+                        batch,
+                    )
+                )
                 continue
-            conn.send(("done", index, restarts, result_to_record(result, detail=True)))
+            record = result_to_record(result, detail=True)
+            delta, batch = flush()
+            conn.send(("done", index, restarts, record, delta, batch))
     except (EOFError, KeyboardInterrupt):  # parent died / interrupted
         return
     finally:
@@ -428,12 +509,19 @@ class ProcessExecutor(Executor):
 
 
 class _ProcessWorker:
-    __slots__ = ("proc", "conn", "current")
+    __slots__ = ("proc", "conn", "current", "slot")
 
-    def __init__(self, proc, conn):
+    def __init__(self, proc, conn, slot: int):
         self.proc = proc
         self.conn = conn
         self.current: Task | None = None
+        #: the pool slot this worker occupies — stable across respawns
+        #: (the parent's worker-id tag for relayed telemetry)
+        self.slot = slot
+
+    @property
+    def name(self) -> str:
+        return f"worker-{self.slot}"
 
 
 class _ProcessSession(_SessionBase):
@@ -450,20 +538,27 @@ class _ProcessSession(_SessionBase):
         self._watchdog = watchdog
         self._ctx = ctx
         self._pending: deque[Task] = deque()
+        # decided once per session: workers buffer and relay telemetry
+        # exactly when the parent has a live sink to merge it into
+        self._telemetry = (
+            obs_trace.active_tracer() is not None
+            or obs_metrics.active_registry() is not None
+            or obs_events.active_log() is not None
+        )
         #: worker processes respawned after a death this session
         self.restarts = 0
-        self._workers = [self._spawn() for _ in range(jobs)]
+        self._workers = [self._spawn(slot) for slot in range(jobs)]
 
-    def _spawn(self) -> _ProcessWorker:
+    def _spawn(self, slot: int) -> _ProcessWorker:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_process_worker_main,
-            args=(child_conn, self._spec, self._watchdog),
+            args=(child_conn, self._spec, self._watchdog, self._telemetry),
             daemon=True,
         )
         proc.start()
         child_conn.close()
-        return _ProcessWorker(proc, parent_conn)
+        return _ProcessWorker(proc, parent_conn, slot)
 
     def submit(self, task: Task) -> None:
         self._pending.append(task)
@@ -509,28 +604,63 @@ class _ProcessSession(_SessionBase):
 
     def _handle(self, worker: _ProcessWorker, message: tuple) -> Outcome | None:
         kind = message[0]
-        if kind == "stats":  # pragma: no cover - shutdown-path only
-            self._merge_stats(message[1])
+        if kind == "stats":  # clean shutdown: the worker's final flush
+            self._absorb(worker, message[1], message[2])
             return None
         task = worker.current
         worker.current = None
         assert task is not None
         if kind == "done":
+            self._absorb(worker, message[4], message[5])
             return Outcome.done(task, result_from_record(message[3]))
         if kind == "error":
+            self._absorb(worker, message[4], message[5])
             return Outcome.bug(task, message[3])
         raise SweepError(f"unknown worker message {kind!r}")  # pragma: no cover
 
+    def _absorb(self, worker: _ProcessWorker, stats_delta: dict, batch) -> None:
+        """Fold one message's stats delta and telemetry batch home."""
+        stats = getattr(self._engine, "stats", None)
+        if stats is not None and stats_delta:
+            # the relayed batch already carries the worker's own metric
+            # counts, so mirroring the delta into the registry as well
+            # would double-count them
+            stats.merge_snapshot(stats_delta, mirror_metrics=not self._telemetry)
+        if self._telemetry:
+            obs_relay.merge_batch(batch, worker=worker.name)
+
     def _reap(self, worker: _ProcessWorker) -> Outcome | None:
-        """A worker's pipe died: bury it, respawn, report the casualty."""
+        """A worker's pipe died: bury it, respawn, report the casualty.
+
+        The restart is annotated into the live trace and event log — in
+        the merged trace the dead pid's track simply stops, and the
+        ``worker_restart`` instant marks the gap with the slot, the
+        dead pid and the in-flight point.
+        """
         task = worker.current
         worker.current = None
         worker.conn.close()
         worker.proc.join(timeout=10.0)
+        dead_pid = worker.proc.pid
         slot = self._workers.index(worker)
-        self._workers[slot] = self._spawn()
+        self._workers[slot] = self._spawn(worker.slot)
         self.restarts += 1
         obs_metrics.count("scheduler.worker_restarts")
+        obs_trace.instant(
+            "worker_restart",
+            "scheduler",
+            worker=worker.name,
+            pid=dead_pid,
+            new_pid=self._workers[slot].proc.pid,
+            point=task.key if task is not None else "",
+        )
+        obs_events.emit(
+            "worker_restarted",
+            worker=worker.name,
+            pid=dead_pid,
+            new_pid=self._workers[slot].proc.pid,
+            point=task.key if task is not None else "",
+        )
         if task is None:  # died idle: nothing was in flight
             return None
         return Outcome.crash(task)
@@ -542,10 +672,17 @@ class _ProcessSession(_SessionBase):
         self._pending.clear()
         return cancelled
 
-    def _merge_stats(self, snapshot: dict) -> None:
-        stats = getattr(self._engine, "stats", None)
-        if stats is not None:
-            stats.merge_snapshot(snapshot)
+    def worker_status(self) -> list[dict[str, object]]:
+        """Per-worker liveness for the campaign health aggregator."""
+        return [
+            {
+                "worker": w.name,
+                "pid": w.proc.pid,
+                "alive": w.proc.is_alive(),
+                "point": w.current.key if w.current is not None else "",
+            }
+            for w in self._workers
+        ]
 
     def close(self) -> None:
         self._pending.clear()
@@ -557,8 +694,9 @@ class _ProcessSession(_SessionBase):
                     pass
         deadline = time.monotonic() + 10.0
         for worker in self._workers:
-            # drain the pipe until the final stats message (late results
-            # from cancelled points are dropped on the floor)
+            # drain the pipe until the final stats message; a late
+            # result from a cancelled point is dropped, but its stats
+            # delta and telemetry batch still count
             while True:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -570,8 +708,10 @@ class _ProcessSession(_SessionBase):
                 except (EOFError, OSError):
                     break
                 if message[0] == "stats":
-                    self._merge_stats(message[1])
+                    self._absorb(worker, message[1], message[2])
                     break
+                if message[0] in ("done", "error"):
+                    self._absorb(worker, message[4], message[5])
             worker.conn.close()
             worker.proc.join(timeout=5.0)
             if worker.proc.is_alive():  # pragma: no cover - stuck worker

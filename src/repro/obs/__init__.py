@@ -36,7 +36,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
-from .events import EventLog, active_log, set_log, use_log
+from .events import EventLog, active_log, set_log, use_log, warn
+from .health import (
+    CampaignHealth,
+    campaign_health,
+    health_from_journal,
+    set_campaign_source,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -48,6 +54,8 @@ from .metrics import (
     use_registry,
 )
 from .progress import SweepProgress
+from .relay import BufferedEventLog, WorkerTelemetry, merge_batch
+from .server import ObsServer, prometheus_text
 from .trace import Tracer, active_tracer, set_tracer, use_tracer
 
 __all__ = [
@@ -57,6 +65,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "EventLog",
+    "BufferedEventLog",
+    "WorkerTelemetry",
+    "merge_batch",
+    "CampaignHealth",
+    "campaign_health",
+    "health_from_journal",
+    "set_campaign_source",
+    "ObsServer",
+    "prometheus_text",
     "SweepProgress",
     "ObsSession",
     "session",
@@ -70,6 +87,7 @@ __all__ = [
     "use_registry",
     "use_log",
     "load_snapshot",
+    "warn",
 ]
 
 
@@ -80,6 +98,8 @@ class ObsSession:
     tracer: Tracer | None = None
     registry: MetricsRegistry | None = None
     log: EventLog | None = None
+    #: the live exposition server, when ``serve=`` asked for one
+    server: ObsServer | None = None
     #: ``(label, path)`` pairs of artifacts written when the session closed
     written: list[tuple[str, Path]] = field(default_factory=list)
 
@@ -90,6 +110,7 @@ def session(
     trace: str | Path | bool | None = None,
     metrics: str | Path | bool | None = None,
     log_json: str | Path | None = None,
+    serve: int | None = None,
 ) -> Iterator[ObsSession]:
     """Activate the requested sinks for the block; export on exit.
 
@@ -97,6 +118,13 @@ def session(
     the block exits) or ``True`` (sink active, in-memory only);
     ``log_json`` takes the JSONL path to append to. Sinks not requested
     are left exactly as they were, so sessions nest.
+
+    ``serve`` starts an :class:`~repro.obs.server.ObsServer` on that
+    port (0 = ephemeral) for the block — ``/metrics`` needs a live
+    registry, so asking to serve implies an in-memory one even without
+    ``metrics``. The server is stopped before the sinks are restored,
+    so a graceful-shutdown drain is scrapeable to the very end but no
+    scrape ever observes a half-torn-down session.
     """
     out = ObsSession()
     previous: list = []
@@ -104,14 +132,20 @@ def session(
         if trace:
             out.tracer = Tracer()
             previous.append(("tracer", set_tracer(out.tracer)))
+        if serve is not None and not metrics:
+            metrics = True
         if metrics:
             out.registry = MetricsRegistry()
             previous.append(("registry", set_registry(out.registry)))
         if log_json:
             out.log = EventLog(log_json)
             previous.append(("log", set_log(out.log)))
+        if serve is not None:
+            out.server = ObsServer(port=serve)
         yield out
     finally:
+        if out.server is not None:
+            out.server.close()
         for kind, prior in reversed(previous):
             if kind == "tracer":
                 set_tracer(prior)

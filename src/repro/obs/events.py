@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
 
-__all__ = ["EventLog", "active_log", "set_log", "use_log", "emit"]
+__all__ = ["EventLog", "active_log", "set_log", "use_log", "emit", "warn"]
 
 
 class EventLog:
@@ -113,3 +114,15 @@ def emit(event: str, **fields: object) -> None:
     log = _ACTIVE
     if log is not None:
         log.emit(event, **fields)
+
+
+def warn(message: str, **fields: object) -> None:
+    """The single funnel for operator-facing warnings.
+
+    Prints ``warning: <message>`` to stderr *and* emits a structured
+    ``warning`` event to the active log, so the journal quarantine and
+    degradation warnings that used to be ad-hoc stderr prints also land
+    in ``--log-json`` output (joinable on their extra ``fields``).
+    """
+    print(f"warning: {message}", file=sys.stderr)
+    emit("warning", message=message, **fields)

@@ -131,6 +131,22 @@ class Histogram:
                 "mean": self.total / self.count,
             }
 
+    def merge(self, snapshot: dict[str, float]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        The moments and extremes compose exactly; only the merged mean
+        is recomputed. This is the receiving end of the worker
+        telemetry relay (:mod:`repro.obs.relay`).
+        """
+        observations = int(snapshot.get("count", 0) or 0)
+        if not observations:
+            return
+        with self._lock:
+            self.count += observations
+            self.total += float(snapshot.get("total", 0.0))
+            self.min = min(self.min, float(snapshot["min"]))
+            self.max = max(self.max, float(snapshot["max"]))
+
 
 class MetricsRegistry:
     """Thread-safe collection of named counters/gauges/histograms.
@@ -170,10 +186,10 @@ class MetricsRegistry:
         with self._lock:
             return len(self._metrics)
 
-    def snapshot(self) -> dict[str, dict[str, object]]:
-        """All metrics by kind, JSON-ready and sorted by name."""
-        with self._lock:
-            metrics = dict(self._metrics)
+    @staticmethod
+    def _render(
+        metrics: dict[str, "Counter | Gauge | Histogram"],
+    ) -> dict[str, dict[str, object]]:
         out: dict[str, dict[str, object]] = {
             "counters": {},
             "gauges": {},
@@ -189,6 +205,37 @@ class MetricsRegistry:
             else:
                 out["histograms"][name] = metric.snapshot()
         return out
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """All metrics by kind, JSON-ready and sorted by name."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return self._render(metrics)
+
+    def drain_snapshot(self) -> dict[str, dict[str, object]]:
+        """Snapshot then reset — the worker-relay flush primitive.
+
+        Repeated drains ship disjoint deltas, so a parent that
+        :meth:`merge_snapshot`\\ s every batch never double-counts.
+        """
+        with self._lock:
+            metrics = self._metrics
+            self._metrics = {}
+        return self._render(metrics)
+
+    def merge_snapshot(self, snapshot: dict[str, dict[str, object]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histograms are additive; gauges take the incoming
+        value (last write wins, matching :meth:`Gauge.set`).
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            if value:
+                self.counter(name).inc(float(value))  # type: ignore[arg-type]
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))  # type: ignore[arg-type]
+        for name, hist in (snapshot.get("histograms") or {}).items():
+            self.histogram(name).merge(hist)  # type: ignore[arg-type]
 
     def to_json(self, path: str | Path | None = None) -> str:
         """Serialize the snapshot; optionally write it to ``path``."""

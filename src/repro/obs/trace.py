@@ -77,13 +77,25 @@ class _Span:
 
 
 class Tracer:
-    """Collects spans and instants; exports Chrome trace-event JSON."""
+    """Collects spans and instants; exports Chrome trace-event JSON.
+
+    A tracer can also act as one end of the worker telemetry relay
+    (:mod:`repro.obs.relay`): :meth:`drain` detaches the buffered
+    events for shipping over a pipe, and :meth:`ingest` merges a
+    drained batch from another process onto this tracer's timeline —
+    rebased via the wall-clock epoch, keyed by the source pid, so the
+    merged trace renders one track per worker process.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
+        #: wall-clock time at ``_epoch`` — the cross-process anchor
+        #: :meth:`ingest` uses to rebase another tracer's timestamps
+        self.wall_epoch = time.time()
         self._pid = os.getpid()
-        self._thread_names: dict[int, str] = {}
+        self._thread_names: dict[tuple[int, int], str] = {}
+        self._process_names: dict[int, str] = {}
         self.events: list[dict[str, object]] = []
 
     # -- recording ---------------------------------------------------------
@@ -137,9 +149,58 @@ class Tracer:
         tid = event["tid"]
         assert isinstance(tid, int)
         with self._lock:
-            if tid not in self._thread_names:
-                self._thread_names[tid] = threading.current_thread().name
+            if (self._pid, tid) not in self._thread_names:
+                self._thread_names[self._pid, tid] = threading.current_thread().name
             self.events.append(event)
+
+    # -- relay (see repro.obs.relay) ---------------------------------------
+
+    def drain(self) -> dict[str, object]:
+        """Detach the buffered events as a relayable batch (worker side).
+
+        The tracer keeps recording afterwards; repeated drains ship
+        disjoint batches. The batch carries this process's pid and
+        wall-clock epoch so :meth:`ingest` can place the events on the
+        receiving tracer's timeline.
+        """
+        with self._lock:
+            events = self.events
+            self.events = []
+            names = {
+                tid: name
+                for (pid, tid), name in self._thread_names.items()
+                if pid == self._pid
+            }
+        return {
+            "pid": self._pid,
+            "wall_epoch": self.wall_epoch,
+            "events": events,
+            "thread_names": names,
+        }
+
+    def ingest(self, batch: Mapping[str, object], *, label: str | None = None) -> int:
+        """Merge a :meth:`drain` batch from another process (parent side).
+
+        Timestamps are rebased from the source tracer's wall-clock
+        epoch onto this tracer's, and the source pid is preserved so
+        the trace viewer renders the batch as its own process track —
+        named ``label`` when given. Returns the number of events merged.
+        """
+        pid = int(batch["pid"])  # type: ignore[arg-type]
+        shift = (float(batch["wall_epoch"]) - self.wall_epoch) * 1e6  # type: ignore[arg-type]
+        events: list[dict[str, object]] = list(batch.get("events") or ())  # type: ignore[arg-type]
+        names: Mapping[object, str] = batch.get("thread_names") or {}  # type: ignore[assignment]
+        with self._lock:
+            for event in events:
+                event = dict(event)
+                event["ts"] = float(event["ts"]) + shift  # type: ignore[arg-type]
+                event["pid"] = pid
+                self.events.append(event)
+            for tid, name in names.items():
+                self._thread_names.setdefault((pid, int(tid)), name)  # type: ignore[arg-type]
+            if label:
+                self._process_names[pid] = label
+        return len(events)
 
     # -- export ------------------------------------------------------------
 
@@ -152,15 +213,25 @@ class Tracer:
         with self._lock:
             events = list(self.events)
             names = dict(self._thread_names)
+            process_names = dict(self._process_names)
         metadata: list[dict[str, object]] = [
             {
                 "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "args": {"name": process_name},
+            }
+            for pid, process_name in sorted(process_names.items())
+        ]
+        metadata += [
+            {
+                "ph": "M",
                 "name": "thread_name",
-                "pid": self._pid,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": thread_name},
             }
-            for tid, thread_name in sorted(names.items())
+            for (pid, tid), thread_name in sorted(names.items())
         ]
         return {"displayTimeUnit": "ms", "traceEvents": metadata + events}
 

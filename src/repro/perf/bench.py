@@ -274,12 +274,70 @@ def bench_sweep_throughput(quick: bool) -> dict[str, object]:
     return entry
 
 
+# -- observability overhead ----------------------------------------------------
+
+
+def bench_obs_overhead(quick: bool) -> dict[str, object]:
+    """The disabled-path cost of the obs probes, in ns per probe.
+
+    The whole obs contract rests on probes being ~free when no sink is
+    installed (one module-global load, then return) — every engine
+    stage, cache lookup and memsim access pays this even on campaigns
+    that never pass ``--trace``/``--metrics``. This pins that cost so
+    a refactor cannot silently put, say, string formatting or object
+    construction on the disabled path; :data:`repro.perf.report.MAX_PROBE_NS`
+    is the gated ceiling.
+    """
+    from ..obs import metrics as obs_metrics
+    from ..obs import trace as obs_trace
+
+    n = 50_000 if quick else 200_000
+    repeats = 3 if quick else 5
+
+    def loop_count() -> None:
+        count = obs_metrics.count
+        for _ in range(n):
+            count("bench.probe")
+
+    def loop_observe() -> None:
+        observe = obs_metrics.observe
+        for _ in range(n):
+            observe("bench.probe", 1.0)
+
+    def loop_span() -> None:
+        span = obs_trace.span
+        for _ in range(n):
+            with span("bench.probe", "bench"):
+                pass
+
+    probes = {"count": loop_count, "observe": loop_observe, "span": loop_span}
+    with obs_metrics.use_registry(None), obs_trace.use_tracer(None):
+        for fn in probes.values():  # warm
+            fn()
+        samples = {
+            name: _sample(fn, repeats) for name, fn in probes.items()
+        }
+
+    ns_per_probe = {
+        name: min(walls) / n * 1e9 for name, walls in samples.items()
+    }
+    totals = [sum(walls[i] for walls in samples.values()) for i in range(repeats)]
+    return {
+        "wall_s": _stats(totals),
+        "detail": {
+            "probes": n,
+            "ns_per_probe": {k: round(v, 2) for k, v in sorted(ns_per_probe.items())},
+        },
+    }
+
+
 BENCHMARKS: dict[str, Callable[[bool], dict[str, object]]] = {
     "cache_sim": bench_cache_sim,
     "coalesce": bench_coalesce,
     "interp": bench_interp,
     "engine_stages": bench_engine_stages,
     "sweep_throughput": bench_sweep_throughput,
+    "obs_overhead": bench_obs_overhead,
 }
 
 

@@ -30,6 +30,7 @@ from ..errors import InvalidValueError
 __all__ = [
     "BENCH_SCHEMA",
     "MIN_SPEEDUP",
+    "MAX_PROBE_NS",
     "environment",
     "machine_fingerprint",
     "save_report",
@@ -47,6 +48,14 @@ MIN_SPEEDUP: dict[str, float] = {
     "cache_sim": 5.0,
     "interp": 5.0,
 }
+
+#: hard ceiling on the *disabled*-path cost of one obs probe
+#: (``obs_overhead`` reports ``detail.ns_per_probe``). A disabled probe
+#: is one module-global load and a return — microseconds per probe
+#: means something expensive crept onto the path every engine stage
+#: pays even without ``--trace``/``--metrics``. Generous (~10x the
+#: measured CPython cost) so CI noise never trips it.
+MAX_PROBE_NS = 5000.0
 
 
 def _git_sha() -> str:
@@ -125,6 +134,19 @@ def compare(
                 f"{name}: speedup {bench['speedup']:.2f}x is below the "
                 f"required {floor:g}x floor"
             )
+
+    obs_bench = cur_benches.get("obs_overhead")
+    if obs_bench is not None:
+        probes: Mapping[str, float] = obs_bench.get("detail", {}).get(
+            "ns_per_probe", {}
+        )
+        for probe, ns in sorted(probes.items()):
+            if ns > MAX_PROBE_NS:
+                problems.append(
+                    f"obs_overhead: disabled {probe}() costs {ns:.0f} ns/probe, "
+                    f"above the {MAX_PROBE_NS:g} ns ceiling — something "
+                    f"expensive is on the no-sink path"
+                )
 
     if baseline is None:
         return problems

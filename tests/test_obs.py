@@ -340,6 +340,206 @@ class TestFingerprintInvariance:
 
 
 # --------------------------------------------------------------------------
+# cross-process telemetry relay
+# --------------------------------------------------------------------------
+
+
+class TestTelemetryRelay:
+    def test_buffered_event_log_accumulates_and_drains(self):
+        log = obs.BufferedEventLog()
+        log.emit("one", k=1)
+        log.emit("two")
+        assert log.emitted == 2
+        records = log.drain()
+        assert [r["event"] for r in records] == ["one", "two"]
+        assert records[0]["k"] == 1 and "ts" in records[0]
+        assert log.drain() == []  # drained, but still recording
+        log.emit("three")
+        assert [r["event"] for r in log.drain()] == ["three"]
+
+    def test_tracer_drain_keeps_recording(self):
+        tracer = obs_trace.Tracer()
+        with obs_trace.use_tracer(tracer):
+            with obs_trace.span("a"):
+                pass
+        batch = tracer.drain()
+        assert [e["name"] for e in batch["events"]] == ["a"]
+        assert batch["pid"] and "wall_epoch" in batch
+        assert len(tracer) == 0
+        with obs_trace.use_tracer(tracer):
+            with obs_trace.span("b"):
+                pass
+        assert [e["name"] for e in tracer.drain()["events"]] == ["b"]
+
+    def test_ingest_rebases_and_keeps_worker_pid(self):
+        worker = obs_trace.Tracer()
+        worker._pid = 99999  # a "remote" process
+        with obs_trace.use_tracer(worker):
+            with obs_trace.span("stage"):
+                pass
+        batch = worker.drain()
+        batch["wall_epoch"] += 5.0  # worker started 5s after the parent
+        parent = obs_trace.Tracer()
+        assert parent.ingest(batch, label="worker-0 (pid 99999)") == 1
+        (event,) = parent.events
+        assert event["pid"] == 99999
+        # rebased onto the parent's perf_counter timeline: ~5s later in us
+        assert event["ts"] >= 4.9 * 1e6
+        doc = parent.to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"]): e["args"]["name"] for e in meta}
+        assert names[("process_name", 99999)] == "worker-0 (pid 99999)"
+
+    def test_registry_drain_and_merge(self):
+        worker = obs_metrics.MetricsRegistry()
+        worker.counter("engine.points").inc(2)
+        worker.gauge("depth").set(3)
+        worker.histogram("stage_s").observe(0.5)
+        delta = worker.drain_snapshot()
+        assert worker.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        parent = obs_metrics.MetricsRegistry()
+        parent.counter("engine.points").inc(1)
+        parent.histogram("stage_s").observe(1.5)
+        parent.merge_snapshot(delta)
+        snap = parent.snapshot()
+        assert snap["counters"]["engine.points"] == 3
+        assert snap["gauges"]["depth"] == 3.0
+        assert snap["histograms"]["stage_s"]["count"] == 2
+        assert snap["histograms"]["stage_s"]["min"] == 0.5
+        assert snap["histograms"]["stage_s"]["max"] == 1.5
+
+    def test_merge_batch_tags_events_with_worker_identity(self):
+        telemetry_log = obs.BufferedEventLog()
+        telemetry_log.emit("point_finished", point="abc")
+        batch = {"pid": 4242, "events": telemetry_log.drain()}
+        sink = obs.BufferedEventLog()  # stands in for the parent's log
+        with obs_events.use_log(sink):
+            obs.merge_batch(batch, worker="worker-1")
+        (record,) = sink.drain()
+        assert record["event"] == "point_finished"
+        assert record["worker"] == "worker-1"
+        assert record["worker_pid"] == 4242
+
+    def test_merge_batch_skips_missing_sinks(self):
+        # no active tracer/registry/log: merging must be a no-op, not a crash
+        batch = {
+            "pid": 1,
+            "trace": {"pid": 1, "wall_epoch": 0.0, "events": [], "thread_names": {}},
+            "metrics": {"counters": {"x": 1}, "gauges": {}, "histograms": {}},
+            "events": [{"ts": 0.0, "event": "e"}],
+        }
+        obs.merge_batch(batch, worker="worker-0")
+        obs.merge_batch(None, worker="worker-0")
+
+
+class TestProcessBackendTelemetry:
+    def _process_sweep(self, **obs_kwargs):
+        runner = BenchmarkRunner("cpu", ntimes=1)
+        sweep = ParameterSweep(
+            base=TuningParameters(array_bytes=32 * KIB),
+            axes={"vector_width": [1, 2, 4, 8]},
+        )
+        with obs.session(**obs_kwargs) as s:
+            results = explore(runner, sweep, jobs=2, backend="process")
+        return results, s
+
+    def test_merged_trace_has_tracks_from_every_worker(self):
+        results, s = self._process_sweep(trace=True)
+        assert all(r.ok for r in results)
+        span_pids = {
+            e["pid"]
+            for e in s.tracer.events
+            if e.get("name") in {"generate", "compile", "plan", "execute"}
+        }
+        assert len(span_pids) >= 2  # engine stages ran in >= 2 worker pids
+        doc = s.tracer.to_chrome()
+        labels = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert any(label.startswith("worker-0") for label in labels)
+        assert any(label.startswith("worker-1") for label in labels)
+
+    def test_child_metrics_relay_into_parent_registry(self):
+        results, s = self._process_sweep(metrics=True)
+        counters = s.registry.snapshot()["counters"]
+        # engine.points counted exactly once per point (no double count
+        # between the stats fold and the relayed registry batches)
+        assert counters["engine.points"] == len(results) == 4
+        # child-only counters (memsim runs inside the workers) made it home
+        assert counters["memsim.dram.requests"] >= 1
+        assert counters["queue.kernel_launches"] >= 4
+
+    def test_worker_events_carry_worker_identity(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        self._process_sweep(log_json=events_path)
+        events = [
+            json.loads(line) for line in events_path.read_text().splitlines()
+        ]
+        tagged = [e for e in events if "worker" in e and "worker_pid" in e]
+        assert tagged, "no relayed worker events in the merged log"
+        assert {e["worker"] for e in tagged} <= {"worker-0", "worker-1"}
+
+    def test_fingerprints_invariant_process_traced_untraced_serial(self, tmp_path):
+        serial = _fingerprints(
+            explore(
+                BenchmarkRunner("cpu", ntimes=1),
+                ParameterSweep(
+                    base=TuningParameters(array_bytes=32 * KIB),
+                    axes={"vector_width": [1, 2, 4, 8]},
+                ),
+            )
+        )
+        untraced, _ = self._process_sweep()
+        traced, _ = self._process_sweep(
+            trace=True, metrics=True, log_json=tmp_path / "e.jsonl"
+        )
+        assert serial == _fingerprints(untraced) == _fingerprints(traced)
+
+
+# --------------------------------------------------------------------------
+# exported Chrome trace structure (all three backends)
+# --------------------------------------------------------------------------
+
+
+class TestChromeTraceStructure:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_exported_trace_is_structurally_valid(self, backend, tmp_path):
+        runner = BenchmarkRunner("cpu", ntimes=1)
+        path = tmp_path / f"{backend}.json"
+        with obs.session(trace=path):
+            explore(runner, _small_sweep(), jobs=2, backend=backend)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {"sweep", "point", "generate", "compile", "plan", "execute"} <= {
+            s["name"] for s in spans
+        }
+        for s in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(s)
+            assert s["dur"] >= 0 and s["ts"] >= 0
+        # span pairs nest properly: within one (pid, tid) track, any two
+        # spans either nest (containment) or are disjoint — never overlap
+        tracks: dict[tuple, list] = {}
+        for s in spans:
+            tracks.setdefault((s["pid"], s["tid"]), []).append(s)
+        eps = 1e-3  # us rounding slack
+        for track in tracks.values():
+            track.sort(key=lambda s: (s["ts"], -s["dur"]))
+            for a, b in zip(track, track[1:]):
+                a_end = a["ts"] + a["dur"]
+                assert (
+                    b["ts"] + b["dur"] <= a_end + eps  # nested
+                    or b["ts"] >= a_end - eps  # disjoint
+                ), f"overlapping spans {a['name']}/{b['name']}"
+        for e in doc["traceEvents"]:
+            if e["ph"] == "M":
+                assert e["name"] in {"process_name", "thread_name"}
+                assert e["args"]["name"]
+
+
+# --------------------------------------------------------------------------
 # queue counters and their per-point reset (the satellite fix)
 # --------------------------------------------------------------------------
 

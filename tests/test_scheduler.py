@@ -292,6 +292,34 @@ class TestProcessExecutor:
         assert stats["failures"] == 0
         assert stats["stage_s"]["execute"] > 0
 
+    def test_stats_fold_incrementally_and_survive_worker_kills(self):
+        """Child EngineStats arrive as per-point deltas, not only at
+        clean shutdown — a kill -9'd worker loses at most its in-flight
+        point, so serial and process stats agree even under injected
+        ``worker_crash`` faults."""
+        spec = _find_requeue_seed()
+        serial_engine = _engine(spec)
+        explore(serial_engine, _sweep(), backend="serial")
+        process_engine = _engine(spec)
+        scheduler = CampaignScheduler(process_engine, backend="process", jobs=2)
+        scheduler.run(list(_sweep().points()))
+        assert scheduler.crashes >= 1  # workers actually died mid-campaign
+        serial_stats = serial_engine.stats_snapshot()
+        process_stats = process_engine.stats_snapshot()
+        for counter in ("points", "failures", "retries"):
+            assert process_stats[counter] == serial_stats[counter], counter
+        assert process_stats["points"] == 6
+
+    def test_worker_status_reports_liveness(self):
+        engine = _engine()
+        executor = ProcessExecutor(jobs=2)
+        with executor.session(engine) as session:
+            status = session.worker_status()
+            assert len(status) == 2
+            assert {w["worker"] for w in status} == {"worker-0", "worker-1"}
+            assert all(w["alive"] for w in status)
+            assert all(isinstance(w["pid"], int) for w in status)
+
     def test_journal_written_by_parent_survives_worker_kills(self, tmp_path):
         spec = _find_requeue_seed()
         journal = SweepJournal(tmp_path / "j.jsonl", durable=True)
