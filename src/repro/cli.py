@@ -128,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs > 1, else serial); 'process' survives worker crashes",
     )
     sweep.add_argument(
+        "--slot-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serial backend: hand N grid points at a time to the engine "
+        "so semantically identical variants share one whole-NDRange "
+        "array pass (results stay bit-identical to --slot-batch 1)",
+    )
+    sweep.add_argument(
         "--max-worker-restarts",
         type=int,
         default=2,
@@ -474,6 +483,14 @@ def _add_point_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="measure host<->device (PCIe) streams instead of global memory",
     )
+    parser.add_argument(
+        "--exec-lane",
+        default="auto",
+        choices=["auto", "vectorized", "compiled", "interp"],
+        help="functional execution lane (default: auto = whole-NDRange "
+        "array lane, falling back to compiled closures, then the "
+        "interpreter); forcing a lane is a debugging/differential aid",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -631,6 +648,7 @@ def _make_runner(args: argparse.Namespace, ntimes: int) -> BenchmarkRunner:
         faults=faults,
         watchdog=watchdog,
         retries=getattr(args, "retries", 2),
+        exec_lane=getattr(args, "exec_lane", "auto"),
     )
 
 
@@ -689,6 +707,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=reporter,
             max_worker_restarts=args.max_worker_restarts,
             handle_signals=True,
+            slot_batch=args.slot_batch,
         )
         points = list(sweep.points())
         results = scheduler.run(points, skipped=len(sweep.skipped))

@@ -114,6 +114,7 @@ FAULT_SITES = (
     "readback",
     "stall",
     "verify",
+    "vectorize",
     "worker_crash",
     "journal_write",
     "journal_fsync",
@@ -284,6 +285,27 @@ class FaultPlan:
         if not self.should_fire("verify", point_key, attempt):
             return False
         self._flip_word("verify-corrupt", point_key, attempt, arrays)
+        return True
+
+    def corrupt_vectorize(
+        self,
+        point_key: str,
+        attempt: int,
+        arrays: "Mapping[str, np.ndarray] | np.ndarray",
+    ) -> bool:
+        """Flip one word of the *observed* arrays after validation.
+
+        Models an array-lane miscompile below the STREAM validation
+        tolerance: the engine applies this strictly after
+        ``validate_solution`` passed and before the verify stage runs,
+        so the only detector is strict differential verification —
+        which must classify the point as a permanent
+        ``verify_mismatch``, identically on every scheduler backend.
+        Returns whether corruption was injected.
+        """
+        if not self.should_fire("vectorize", point_key, attempt):
+            return False
+        self._flip_word("vectorize-corrupt", point_key, attempt, arrays)
         return True
 
     def _flip_word(

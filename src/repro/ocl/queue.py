@@ -24,7 +24,8 @@ execution order (and without them, real OpenCL would race too).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -39,9 +40,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from .context import Context
     from .platform import Device
 
-__all__ = ["CommandQueue"]
+__all__ = ["CommandQueue", "EXEC_LANES"]
 
 _ENGINES = ("compute", "h2d", "d2h")
+
+#: valid :attr:`CommandQueue.exec_lane` settings and the fallback chain
+#: each implies. ``auto`` prefers the whole-NDRange array lane, drops to
+#: compiled closures when a kernel (or a launch) is ineligible, and to
+#: the tree-walking interpreter as the total fallback; the forced
+#: settings exist for debugging/differential testing and still end at
+#: the interpreter, which executes everything.
+_LANE_ORDER: dict[str, tuple[str, ...]] = {
+    "auto": ("vectorized", "compiled", "interpreted"),
+    "vectorized": ("vectorized", "interpreted"),
+    "compiled": ("compiled", "interpreted"),
+    "interp": ("interpreted",),
+}
+
+EXEC_LANES = tuple(_LANE_ORDER)
 
 
 class CommandQueue:
@@ -69,6 +85,11 @@ class CommandQueue:
         #: per-point command/byte counters; reset by :meth:`reset_profile`
         self.counters: dict[str, float] = self._fresh_counters()
         self._specialized_cache: dict[tuple[int, str], object] = {}
+        #: execution-lane preference, one of :data:`EXEC_LANES`
+        self.exec_lane: str = "auto"
+        #: set by :meth:`external_execution`: functional results already
+        #: live in the buffers, so :meth:`_execute` must not re-run
+        self._skip_execute = False
         #: fault-injection port (see :mod:`repro.faults`): when set, the
         #: queue calls it with a site name — ``"launch"`` before a kernel
         #: launch (the hook may raise to model a flaky driver) and
@@ -331,6 +352,43 @@ class CommandQueue:
             return pointee.dtype
         raise InvalidValueError(f"cannot derive dtype for parameter {name!r}")
 
+    def _lane_order(self) -> tuple[str, ...]:
+        order = _LANE_ORDER.get(self.exec_lane)
+        if order is None:
+            raise InvalidValueError(
+                f"exec_lane must be one of {EXEC_LANES}, got {self.exec_lane!r}"
+            )
+        return order
+
+    @staticmethod
+    def _runner_lane(runner: object) -> str:
+        from ..oclc.compile import CompiledKernel
+        from ..oclc.vectorize import VectorKernel
+
+        if isinstance(runner, VectorKernel):
+            return "vectorized"
+        if isinstance(runner, CompiledKernel):
+            return "compiled"
+        return "interpreted"
+
+    def _build_runner(self, checked: object, name: str, lanes: tuple[str, ...]):
+        """First lane in ``lanes`` whose compile accepts this kernel."""
+        from ..oclc.compile import compile_kernel
+        from ..oclc.interp import KernelInterpreter
+        from ..oclc.vectorize import vectorize_kernel
+
+        factories = {
+            "vectorized": vectorize_kernel,
+            "compiled": compile_kernel,
+            "interpreted": KernelInterpreter,
+        }
+        for lane in lanes[:-1]:
+            try:
+                return factories[lane](checked, name)
+            except UnsupportedKernelError:
+                continue
+        return factories[lanes[-1]](checked, name)
+
     def _execute(
         self,
         kernel: "Kernel",
@@ -338,29 +396,51 @@ class CommandQueue:
         local_size: tuple[int, ...] | None,
         call_args: dict[str, object],
     ) -> None:
-        from ..oclc.compile import CompiledKernel, compile_kernel
-        from ..oclc.interp import KernelInterpreter
-
+        if self._skip_execute:
+            # results were computed externally (engine slot batching)
+            obs_metrics.count("fastpath.runs.primed")
+            return
         checked = kernel.program.checked
         assert checked is not None
+        order = self._lane_order()
         cache_key = (id(checked), kernel.name)
         runner = self._specialized_cache.get(cache_key)
-        if runner is None:
-            try:
-                runner = compile_kernel(checked, kernel.name)
-            except UnsupportedKernelError:
-                runner = KernelInterpreter(checked, kernel.name)
+        if runner is None or self._runner_lane(runner) not in order:
+            runner = self._build_runner(checked, kernel.name, order)
             self._specialized_cache[cache_key] = runner
-        lane = "compiled" if isinstance(runner, CompiledKernel) else "interpreted"
-        try:
-            runner.run(global_size, call_args, local_size)
-        except UnsupportedKernelError:
-            # Shape turned out unsupported at run time: fall back once.
-            lane = "interpreted"
-            interp = KernelInterpreter(checked, kernel.name)
-            self._specialized_cache[cache_key] = interp
-            interp.run(global_size, call_args, local_size)
+        while True:
+            lane = self._runner_lane(runner)
+            try:
+                runner.run(global_size, call_args, local_size)
+                break
+            except UnsupportedKernelError:
+                # The launch shape/arguments turned out unsupported at
+                # run time: demote to the next lane and retry. The
+                # interpreter is total, so the chain terminates.
+                remaining = order[order.index(lane) + 1 :]
+                if not remaining:
+                    raise
+                runner = self._build_runner(checked, kernel.name, remaining)
+                self._specialized_cache[cache_key] = runner
         obs_metrics.count(f"fastpath.runs.{lane}")
+
+    @contextmanager
+    def external_execution(self) -> Iterator[None]:
+        """Launches inside this context skip functional execution.
+
+        The engine's slot-batching path computes a point's functional
+        results once with :meth:`~repro.oclc.vectorize.VectorKernel.run_batch`
+        and copies them into the buffers; the timed warmup/measurement
+        launches then only need the performance model, the virtual
+        clock and the event stream — re-running the kernel would just
+        recompute identical idempotent results.
+        """
+        prev = self._skip_execute
+        self._skip_execute = True
+        try:
+            yield
+        finally:
+            self._skip_execute = prev
 
     # -- bookkeeping ----------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from .lexer import tokenize
 from .parser import parse
 from .semantic import CheckedProgram, check
 from .specialize import SpecializedKernel, specialize
+from .vectorize import VectorKernel, vectorize_kernel
 
 __all__ = [
     "tokenize",
@@ -45,6 +46,8 @@ __all__ = [
     "specialize",
     "compile_kernel",
     "CompiledKernel",
+    "vectorize_kernel",
+    "VectorKernel",
     "run_kernel",
     "BufferArg",
     "KernelInterpreter",

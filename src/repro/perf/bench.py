@@ -17,6 +17,12 @@ Benchmarks:
 * ``interp`` — generated triad kernel execution: tree-walking
   :class:`~repro.oclc.interp.KernelInterpreter` vs the
   compiled-to-closures :class:`~repro.oclc.compile.CompiledKernel`.
+* ``ndrange`` — the whole-NDRange array lane: compiled-to-closures
+  scalar execution vs :class:`~repro.oclc.vectorize.VectorKernel`
+  across array sizes, with an interpreter reference leg at the
+  smallest size. The gated ratio is vectorized-vs-compiled at the
+  largest size, where the per-element Python overhead of the scalar
+  lane dominates.
 * ``engine_stages`` — one engine point end to end, with the per-stage
   split (generate/compile/plan/execute) from ``detail['engine']``.
 * ``sweep_throughput`` — a small cartesian sweep, reported as
@@ -44,7 +50,7 @@ from ..memsim import (
     coalesce_sequential_batch,
 )
 from ..obs import trace as obs_trace
-from ..oclc import compile_kernel, compile_source_cached
+from ..oclc import compile_kernel, compile_source_cached, vectorize_kernel
 from ..oclc.interp import BufferArg, KernelInterpreter
 from .report import BENCH_SCHEMA, environment
 
@@ -203,6 +209,87 @@ def bench_interp(quick: bool) -> dict[str, object]:
     return entry
 
 
+def bench_ndrange(quick: bool) -> dict[str, object]:
+    """Three execution drivers over one kernel, sized until it hurts.
+
+    The gated speedup is the array lane against the compiled scalar
+    lane at 1M words — the regime the engine actually batches, and
+    where the closure lane's per-slice Python overhead has fully
+    amortised away on the array side. Quick mode keeps all three sizes
+    (the compiled lane still only costs ~20ms at 1M) and trims
+    repeats. The interpreter leg runs once at the smallest size purely
+    as a scale reference; it is ~1000x off the pace and timing it at
+    1M words would dominate the whole suite.
+    """
+    sizes = [1024, 65_536, 1_048_576]
+
+    def point(words: int) -> TuningParameters:
+        return TuningParameters(
+            kernel=KernelName.TRIAD,
+            dtype=DataType.FLOAT,
+            array_bytes=words * 4,
+            vector_width=4,
+        )
+
+    def lanes(words: int):
+        params = point(words)
+        gen = generate(params)
+        checked = compile_source_cached(
+            gen.source, {k: str(v) for k, v in gen.defines.items()}
+        )
+        initial = initial_arrays(params.word_count, params.dtype)
+        spec = KERNELS[params.kernel]
+        arrays = {name: initial[name].copy() for name in ("a", "b", "c")}
+        call: dict[str, object] = {
+            name: BufferArg(arrays[name]) for name in (*spec.reads, spec.writes)
+        }
+        if spec.uses_scalar:
+            call["q"] = SCALAR_Q
+        # kernels are built once and the array lane's slice plan is
+        # cached across launches — exactly how the queue drives them
+        compiled = compile_kernel(checked, gen.kernel_name)
+        vectorized = vectorize_kernel(checked, gen.kernel_name)
+        interp = KernelInterpreter(checked, gen.kernel_name)
+        run = lambda kernel: kernel.run(gen.global_size, call, gen.local_size)  # noqa: E731
+        return (
+            lambda: run(compiled),
+            lambda: run(vectorized),
+            lambda: run(interp),
+        )
+
+    per_size: dict[str, dict[str, float]] = {}
+    entry: dict[str, object] = {}
+    for words in sizes:
+        compiled, vectorized, interp = lanes(words)
+        paired = _paired(
+            compiled,
+            vectorized,
+            scalar_repeats=2 if quick else 3,
+            fast_repeats=10 if quick else 20,
+        )
+        per_size[str(words)] = {
+            "compiled_min_s": paired["scalar_s"]["min_s"],  # type: ignore[index]
+            "vectorized_min_s": paired["wall_s"]["min_s"],  # type: ignore[index]
+            "speedup": round(paired["speedup"], 2),  # type: ignore[arg-type]
+        }
+        if words == sizes[-1]:
+            entry = paired  # the gated ratio: largest size
+        if words == sizes[0]:
+            per_size[str(words)]["interp_min_s"] = min(_sample(interp, 2))
+
+    entry["throughput"] = {
+        "value": sizes[-1] / entry["wall_s"]["min_s"],  # type: ignore[index]
+        "unit": "words/s",
+    }
+    entry["detail"] = {
+        "kernel": "triad",
+        "vector_width": 4,
+        "sizes_words": sizes,
+        "per_size": per_size,
+    }
+    return entry
+
+
 # -- engine / end-to-end -------------------------------------------------------
 
 
@@ -335,6 +422,7 @@ BENCHMARKS: dict[str, Callable[[bool], dict[str, object]]] = {
     "cache_sim": bench_cache_sim,
     "coalesce": bench_coalesce,
     "interp": bench_interp,
+    "ndrange": bench_ndrange,
     "engine_stages": bench_engine_stages,
     "sweep_throughput": bench_sweep_throughput,
     "obs_overhead": bench_obs_overhead,

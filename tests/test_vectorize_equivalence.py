@@ -1,0 +1,462 @@
+"""Differential gate for the whole-NDRange vectorized execution lane.
+
+One kernel semantics, three drivers: the work-item interpreter
+(``repro.oclc.interp``, the oracle), the compiled scalar lane
+(``repro.oclc.compile``) and the vectorized whole-array lane
+(``repro.oclc.vectorize``). The acceptance criterion throughout this
+file is *bitwise* identity — ``output_checksum`` hashes raw array
+bytes and :meth:`RunResult.fingerprint` hashes the full result row —
+never tolerance-based closeness. The array lane either produces the
+exact same bits as the other two lanes or it must refuse the kernel
+with :class:`UnsupportedKernelError` (which the queue turns into a
+silent per-kernel fallback); silent divergence is the one outcome
+these tests exist to make impossible.
+
+Covers: the full 13-variant conformance grid x 4 kernels x 3 dtypes,
+ragged tails (sizes that leave unroll/nested-loop remainders), the
+grid-point-stacked batch path (``VectorKernel.run_batch`` and
+``ExecutionEngine.run_batch``), lane selection/fallback plumbing,
+hypothesis fuzzing with greedy shrinking, golden-corpus pinning, and
+the ``vectorize`` fault site's negative path on all three scheduler
+backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import explore
+from repro.core.engine import ExecutionEngine
+from repro.core.generator import generate
+from repro.core.history import point_fingerprint
+from repro.core.kernels import KERNELS, SCALAR_Q, initial_arrays
+from repro.core.params import (
+    AccessPattern,
+    DataType,
+    KernelName,
+    LoopManagement,
+    TuningParameters,
+)
+from repro.core.runner import BenchmarkRunner
+from repro.core.sweep import ParameterSweep
+from repro.errors import (
+    BenchmarkError,
+    SweepError,
+    UnsupportedKernelError,
+)
+from repro.faults import FAULT_SITES, FaultPlan, FaultSpec
+from repro.obs import metrics as obs_metrics
+from repro.ocl.queue import EXEC_LANES
+from repro.oclc import (
+    VectorKernel,
+    compile_kernel,
+    compile_source_cached,
+    vectorize_kernel,
+)
+from repro.oclc.interp import BufferArg
+from repro.verify.conformance import (
+    _VARIANT_AXES,
+    interpret_point,
+    output_checksum,
+    random_point,
+    shrink_failure,
+    variant_grid,
+)
+from repro.verify.golden import DEFAULT_GOLDEN_PATH, corpus_grid, load_corpus
+from repro.units import KIB
+
+ARRAY_BYTES = 4096
+ALL_KERNELS = tuple(KernelName)
+ALL_DTYPES = tuple(DataType)
+
+
+def _run_lane(params: TuningParameters, factory) -> dict[str, np.ndarray]:
+    """Run one point through a driver factory on fresh STREAM arrays."""
+    gen = generate(params)
+    checked = compile_source_cached(
+        gen.source, {k: str(v) for k, v in gen.defines.items()}
+    )
+    initial = initial_arrays(params.word_count, params.dtype)
+    arrays = {name: initial[name].copy() for name in ("a", "b", "c")}
+    spec = KERNELS[params.kernel]
+    call = {name: BufferArg(arrays[name]) for name in (*spec.reads, spec.writes)}
+    if spec.uses_scalar:
+        call["q"] = SCALAR_Q
+    factory(checked, gen.kernel_name).run(gen.global_size, call, gen.local_size)
+    return arrays
+
+
+def _checksum(params: TuningParameters, factory) -> str:
+    return output_checksum(_run_lane(params, factory))
+
+
+# -- full conformance grid: vectorized == compiled, bit for bit ---------------
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.value)
+@pytest.mark.parametrize("dtype", ALL_DTYPES, ids=lambda d: d.value)
+def test_vectorized_matches_compiled_full_grid(kernel, dtype):
+    """Every conformance variant vectorizes — no fallback — bit-exactly."""
+    points = variant_grid(kernel, dtype, ARRAY_BYTES)
+    assert len(points) == len(_VARIANT_AXES)
+    for params in points:
+        # the conformance grid is the supported envelope: a refusal
+        # here is a regression in the eligibility gate, not a fallback
+        got = _checksum(params, vectorize_kernel)
+        want = _checksum(params, compile_kernel)
+        assert got == want, params.describe()
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.value)
+def test_vectorized_matches_interpreter_subset(kernel):
+    """Tier-1 oracle leg: a representative slice against the interpreter."""
+    for dtype in (DataType.INT, DataType.DOUBLE):
+        for params in variant_grid(kernel, dtype, ARRAY_BYTES)[::4]:
+            got = _checksum(params, vectorize_kernel)
+            want = output_checksum(interpret_point(params))
+            assert got == want, params.describe()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.value)
+@pytest.mark.parametrize("dtype", ALL_DTYPES, ids=lambda d: d.value)
+def test_vectorized_matches_interpreter_full_grid(kernel, dtype):
+    """The full three-lane cross (interpreter leg is slow: --runslow)."""
+    for params in variant_grid(kernel, dtype, ARRAY_BYTES):
+        interp = output_checksum(interpret_point(params))
+        assert _checksum(params, vectorize_kernel) == interp, params.describe()
+        assert _checksum(params, compile_kernel) == interp, params.describe()
+
+
+# -- ragged tails -------------------------------------------------------------
+
+#: sizes chosen so the generated loops carry remainders: unroll factors
+#: that do not divide the trip count, nested loops over awkward totals,
+#: strided re-indexing, and an odd element count at width 8
+RAGGED_VARIANTS = (
+    dict(array_bytes=1020, loop=LoopManagement.FLAT, unroll=4),
+    dict(array_bytes=1008, vector_width=4, loop=LoopManagement.FLAT, unroll=2),
+    dict(array_bytes=1016, vector_width=2, loop=LoopManagement.NESTED),
+    dict(array_bytes=1012, loop=LoopManagement.NESTED, unroll=2),
+    dict(array_bytes=1020, pattern=AccessPattern.STRIDED, loop=LoopManagement.FLAT),
+    dict(
+        array_bytes=1056,
+        vector_width=8,
+        use_vload=True,
+        loop=LoopManagement.NDRANGE,
+    ),
+)
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.value)
+def test_ragged_tails_bit_identical(kernel):
+    for changes in RAGGED_VARIANTS:
+        params = TuningParameters(
+            kernel=kernel, dtype=DataType.FLOAT, **changes
+        )
+        got = _checksum(params, vectorize_kernel)
+        assert got == _checksum(params, compile_kernel), params.describe()
+
+
+# -- batch path: stacked grid points == one-at-a-time -------------------------
+
+
+def _batch_fixture(params: TuningParameters, n: int):
+    """(kernel, gen, n calls with distinct initial arrays, copies)."""
+    gen = generate(params)
+    checked = compile_source_cached(
+        gen.source, {k: str(v) for k, v in gen.defines.items()}
+    )
+    vk = vectorize_kernel(checked, gen.kernel_name)
+    assert isinstance(vk, VectorKernel)
+    spec = KERNELS[params.kernel]
+    rng = np.random.default_rng(17)
+    calls, mirrors = [], []
+    for _ in range(n):
+        base = initial_arrays(params.word_count, params.dtype)
+        arrays = {
+            name: (base[name] + rng.integers(1, 5)).astype(base[name].dtype)
+            for name in ("a", "b", "c")
+        }
+        mirrors.append({name: arr.copy() for name, arr in arrays.items()})
+        call = {
+            name: BufferArg(arrays[name]) for name in (*spec.reads, spec.writes)
+        }
+        if spec.uses_scalar:
+            call["q"] = SCALAR_Q
+        calls.append((arrays, call))
+    return gen, vk, spec, calls, mirrors
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.value)
+def test_run_batch_matches_per_run(kernel):
+    params = TuningParameters(
+        kernel=kernel, array_bytes=ARRAY_BYTES, vector_width=4
+    )
+    gen, vk, spec, calls, mirrors = _batch_fixture(params, 4)
+    vk.run_batch(gen.global_size, [c for _, c in calls], gen.local_size)
+    for (arrays, _), mirror in zip(calls, mirrors):
+        call = {
+            name: BufferArg(mirror[name]) for name in (*spec.reads, spec.writes)
+        }
+        if spec.uses_scalar:
+            call["q"] = SCALAR_Q
+        vk.run(gen.global_size, call, gen.local_size)
+        for name in ("a", "b", "c"):
+            assert np.array_equal(arrays[name], mirror[name]), (
+                f"{kernel.value}: batched {name} diverges from per-run"
+            )
+
+
+def test_run_batch_refuses_mixed_shapes():
+    params = TuningParameters(array_bytes=ARRAY_BYTES)
+    gen, vk, spec, calls, _ = _batch_fixture(params, 2)
+    small = initial_arrays(params.word_count // 2, params.dtype)
+    calls[1][1]["a"] = BufferArg(small["a"])
+    with pytest.raises(UnsupportedKernelError, match="shape"):
+        vk.run_batch(gen.global_size, [c for _, c in calls], gen.local_size)
+
+
+def test_run_batch_refuses_mixed_scalars():
+    params = TuningParameters(kernel=KernelName.TRIAD, array_bytes=ARRAY_BYTES)
+    gen, vk, spec, calls, _ = _batch_fixture(params, 2)
+    calls[1][1]["q"] = SCALAR_Q + 1
+    with pytest.raises(UnsupportedKernelError, match="scalar"):
+        vk.run_batch(gen.global_size, [c for _, c in calls], gen.local_size)
+
+
+def test_run_batch_single_and_empty_degenerate():
+    params = TuningParameters(array_bytes=ARRAY_BYTES)
+    gen, vk, spec, calls, mirrors = _batch_fixture(params, 1)
+    vk.run_batch(gen.global_size, [])  # no-op
+    vk.run_batch(gen.global_size, [calls[0][1]], gen.local_size)
+    call = {
+        name: BufferArg(mirrors[0][name]) for name in (*spec.reads, spec.writes)
+    }
+    vk.run(gen.global_size, call, gen.local_size)
+    for name in ("a", "b", "c"):
+        assert np.array_equal(calls[0][0][name], mirrors[0][name])
+
+
+# -- engine + scheduler integration -------------------------------------------
+
+#: a batchable slot: the simd attribute changes the device build but
+#: not the kernel body, so all three points share one batch signature
+BATCH_POINTS = [
+    TuningParameters(
+        array_bytes=64 * KIB, reqd_work_group_size=64, num_simd_work_items=s
+    )
+    for s in (1, 2, 4)
+]
+
+
+def _engine(**kw) -> ExecutionEngine:
+    kw.setdefault("ntimes", 2)
+    return ExecutionEngine("cpu", **kw)
+
+
+class TestEngineLanes:
+    def test_fingerprints_identical_across_exec_lanes(self):
+        params = TuningParameters(array_bytes=64 * KIB, vector_width=4)
+        prints = {
+            lane: _engine(exec_lane=lane).run(params).fingerprint()
+            for lane in EXEC_LANES
+        }
+        assert len(set(prints.values())) == 1, prints
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(BenchmarkError, match="exec_lane"):
+            _engine(exec_lane="simd")
+        with pytest.raises(BenchmarkError, match="exec_lane"):
+            BenchmarkRunner("cpu", exec_lane="turbo")
+
+    def test_run_batch_matches_run_fingerprints(self):
+        reg = obs_metrics.MetricsRegistry()
+        with obs_metrics.use_registry(reg):
+            batched = ExecutionEngine("aocl", ntimes=2).run_batch(BATCH_POINTS)
+        single = [
+            ExecutionEngine("aocl", ntimes=2).run(p) for p in BATCH_POINTS
+        ]
+        assert [r.fingerprint() for r in batched] == [
+            r.fingerprint() for r in single
+        ]
+        counters = reg.snapshot()["counters"]
+        assert counters.get("engine.batched_points", 0) == len(BATCH_POINTS)
+        assert counters.get("fastpath.runs.primed", 0) > 0
+
+    def test_run_batch_heterogeneous_points_still_identical(self):
+        # differing kernels / dtypes split into singleton groups: no
+        # priming happens, results still match the unbatched path
+        points = [
+            TuningParameters(array_bytes=32 * KIB),
+            TuningParameters(
+                array_bytes=32 * KIB, kernel=KernelName.TRIAD
+            ),
+            TuningParameters(array_bytes=32 * KIB, dtype=DataType.DOUBLE),
+        ]
+        batched = _engine().run_batch(points)
+        single = [_engine().run(p) for p in points]
+        assert [r.fingerprint() for r in batched] == [
+            r.fingerprint() for r in single
+        ]
+
+    def test_run_batch_respects_compiled_lane_opt_out(self):
+        # exec_lane="compiled" opts out of the array lane, so batching
+        # must quietly degrade to the per-point path
+        engine = ExecutionEngine("aocl", ntimes=2, exec_lane="compiled")
+        reg = obs_metrics.MetricsRegistry()
+        with obs_metrics.use_registry(reg):
+            batched = engine.run_batch(BATCH_POINTS)
+        assert all(r.ok for r in batched)
+        assert "engine.batched_points" not in reg.snapshot()["counters"]
+
+
+class TestSlotBatchScheduler:
+    def _sweep(self):
+        return ParameterSweep(
+            base=TuningParameters(array_bytes=32 * KIB),
+            axes={"vector_width": [1, 2, 4], "array_bytes": [32 * KIB, 64 * KIB]},
+        )
+
+    def test_slot_batched_sweep_fingerprint_identical(self):
+        plain = explore(_engine(ntimes=1), self._sweep())
+        batched = explore(_engine(ntimes=1), self._sweep(), slot_batch=4)
+        assert len(plain) == len(batched) == 6
+        assert [r.fingerprint() for r in plain] == [
+            r.fingerprint() for r in batched
+        ]
+
+    def test_slot_batch_validated(self):
+        with pytest.raises(SweepError, match="slot_batch"):
+            explore(_engine(ntimes=1), self._sweep(), slot_batch=0)
+
+
+# -- hypothesis: vectorize exactly or refuse loudly ---------------------------
+
+
+def _vectorize_diverges(params: TuningParameters) -> bool:
+    """True when the array lane silently produces different bits."""
+    try:
+        got = _checksum(params, vectorize_kernel)
+    except UnsupportedKernelError:
+        return False  # a loud refusal is the allowed escape hatch
+    return got != _checksum(params, compile_kernel)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_points_vectorize_exactly_or_refuse(seed):
+    params = random_point(np.random.default_rng(seed), max_bytes=4096)
+    if _vectorize_diverges(params):
+        shrunk = shrink_failure(params, _vectorize_diverges)
+        pytest.fail(
+            f"array lane silently diverged; shrunk repro: {shrunk.describe()}"
+        )
+
+
+@pytest.mark.slow
+@settings(max_examples=250, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_points_vectorize_exactly_or_refuse_deep(seed):
+    params = random_point(np.random.default_rng(seed), max_bytes=16384)
+    if _vectorize_diverges(params):
+        shrunk = shrink_failure(params, _vectorize_diverges)
+        pytest.fail(
+            f"array lane silently diverged; shrunk repro: {shrunk.describe()}"
+        )
+
+
+# -- golden corpus pinning ----------------------------------------------------
+
+
+def test_vectorized_outputs_match_golden_corpus():
+    """The array lane reproduces every pinned interpreter checksum.
+
+    The corpus pins ``output_sha`` per (target, point); divergence the
+    fuzz loop might one day find gets pinned here by the resulting
+    corpus diff, so a behavioural change cannot land silently.
+    """
+    corpus = load_corpus(DEFAULT_GOLDEN_PATH)["entries"]
+    checked_entries = 0
+    for target, params in corpus_grid():
+        entry = corpus.get(point_fingerprint(target, params))
+        if entry is None:  # corpus grid drifted: the golden test owns that
+            continue
+        assert _checksum(params, vectorize_kernel) == entry["output_sha"], (
+            f"{target} {params.describe()}"
+        )
+        checked_entries += 1
+    assert checked_entries >= 16
+
+
+# -- negative path: the vectorize fault site ----------------------------------
+
+SMALL = TuningParameters(array_bytes=16 * KIB)
+
+
+class TestVectorizeFaultSite:
+    def test_site_registered(self):
+        assert "vectorize" in FAULT_SITES
+        spec = FaultSpec.parse("vectorize=0.5,seed=3")
+        assert dict(spec.rates) == {"vectorize": 0.5}
+
+    def test_corruption_deterministic_and_single_word(self):
+        plan = FaultPlan.parse("vectorize=0.5,seed=21")
+        draws = []
+        for i in range(20):
+            arrays = {n: np.ones(16, dtype=np.int32) for n in ("a", "b", "c")}
+            fired = plan.corrupt_vectorize(f"k{i}", 0, arrays)
+            flipped = sum(int((arrays[n] != 1).sum()) for n in arrays)
+            assert flipped == (1 if fired else 0)
+            draws.append(fired)
+        assert any(draws) and not all(draws)
+        replay = FaultPlan.parse("vectorize=0.5,seed=21")
+        assert draws == [
+            replay.corrupt_vectorize(
+                f"k{i}", 0, {n: np.ones(16, dtype=np.int32) for n in ("a", "b", "c")}
+            )
+            for i in range(20)
+        ]
+
+    def test_array_lane_miscompile_caught_by_verify_only(self):
+        # validation passed before the corruption fires, so only the
+        # strict differential verify stage can catch it — as a
+        # permanent verify_mismatch, with no retry budget burned
+        plan = FaultPlan.parse("vectorize=1.0,seed=7")
+        engine = _engine(ntimes=1, verify=True, validate=True, faults=plan)
+        result = engine.run(SMALL)
+        assert not result.ok
+        assert result.failure_kind == "verify_mismatch"
+        assert result.detail["engine"]["attempts"] == 1
+
+    def test_unverified_run_lets_corruption_through(self):
+        # documents why the verify stage gates the array lane: without
+        # it the below-tolerance flip sails through validation
+        plan = FaultPlan.parse("vectorize=1.0,seed=7")
+        result = _engine(ntimes=1, verify=False, faults=plan).run(SMALL)
+        assert result.ok
+
+    def test_surfaces_identically_on_every_backend(self):
+        def campaign(backend: str):
+            return explore(
+                _engine(
+                    ntimes=1,
+                    verify=True,
+                    faults=FaultPlan.parse("vectorize=1.0,seed=7"),
+                ),
+                ParameterSweep(base=SMALL, axes={"vector_width": [1, 4]}),
+                jobs=1 if backend == "serial" else 2,
+                backend=backend,
+            )
+
+        runs = {b: campaign(b) for b in ("serial", "thread", "process")}
+        for backend, results in runs.items():
+            assert [r.failure_kind for r in results] == (
+                ["verify_mismatch"] * 2
+            ), backend
+        baseline = [r.fingerprint() for r in runs["serial"]]
+        assert [r.fingerprint() for r in runs["thread"]] == baseline
+        assert [r.fingerprint() for r in runs["process"]] == baseline
