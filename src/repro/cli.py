@@ -237,6 +237,27 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--budget", type=int, default=40, help="max evaluations")
     tune.add_argument("--ntimes", type=int, default=3)
     tune.add_argument(
+        "--strategy",
+        choices=("descent", "multifidelity"),
+        default="descent",
+        help="descent: greedy coordinate descent (default); multifidelity: "
+        "model-guided successive halving + refinement (docs/AUTOTUNE.md)",
+    )
+    tune.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        metavar="N",
+        help="multifidelity halving rate: keep ceil(n/N) survivors per rung "
+        "(default: 2)",
+    )
+    tune.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="multifidelity: skip local refinement, spend the whole budget "
+        "on halving",
+    )
+    tune.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -595,6 +616,8 @@ def _parse_axis(text: str) -> tuple[str, list[object]]:
         raise ReproError(f"bad --axis {text!r}: expected FIELD=V1,V2,...")
     field, _, raw = text.partition("=")
     field = field.strip()
+    if not raw.strip():
+        raise ReproError(f"bad --axis {text!r}: axis {field!r} has no values")
     values: list[object] = []
     converters = {
         "kernel": KernelName,
@@ -607,7 +630,19 @@ def _parse_axis(text: str) -> tuple[str, list[object]]:
     conv = converters.get(field, int)
     for token in raw.split(","):
         token = token.strip()
-        values.append(conv(token))  # type: ignore[operator]
+        if not token:
+            raise ReproError(
+                f"bad --axis {text!r}: empty value in {raw!r}"
+            )
+        try:
+            values.append(conv(token))  # type: ignore[operator]
+        except ReproError:
+            raise
+        except (ValueError, KeyError, StopIteration):
+            raise ReproError(
+                f"bad --axis {text!r}: cannot parse {token!r} as a "
+                f"{field!r} value"
+            ) from None
     return field, values
 
 
@@ -869,7 +904,7 @@ def _cmd_source(args: argparse.Namespace) -> int:
 
 def _cmd_autotune(args: argparse.Namespace) -> int:
     from .core import LoopManagement as _LM
-    from .core import autotune
+    from .core import autotune, multifidelity_search
 
     seed = _params_from(args)
     if args.axis:
@@ -887,21 +922,51 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
         else None
     )
     with _obs_session(args) as session:
-        out = autotune(
-            runner,
-            axes,
-            seed=seed,
-            budget=args.budget,
-            jobs=args.jobs,
-            backend=args.backend,
-            journal=journal,
-            resume=args.resume,
-            resume_or_start=args.resume_or_start,
-        )
+        if args.strategy == "multifidelity":
+            out = multifidelity_search(
+                runner,
+                axes,
+                seed=seed,
+                budget=args.budget,
+                eta=args.eta,
+                refine=not args.no_refine,
+                jobs=args.jobs,
+                backend=args.backend,
+                journal=journal,
+                resume=args.resume,
+                resume_or_start=args.resume_or_start,
+            )
+        else:
+            out = autotune(
+                runner,
+                axes,
+                seed=seed,
+                budget=args.budget,
+                jobs=args.jobs,
+                backend=args.backend,
+                journal=journal,
+                resume=args.resume,
+                resume_or_start=args.resume_or_start,
+            )
         # inside the session so the warnings also land in --log-json
         _warn_journal_health(journal)
     _report_obs(session)
-    print(f"evaluated {out.evaluations_used} points in {out.rounds} round(s)")
+    if args.strategy == "multifidelity":
+        print(
+            f"evaluated {out.spent}/{out.pool_size} pool points "
+            f"({len(out.rungs)} rungs, trajectory "
+            f"{out.trajectory_fingerprint()})"
+        )
+        for rung in out.rungs:
+            print(
+                f"  rung {rung.index} [{rung.tier}]: "
+                f"{len(rung.candidates)} candidate(s) -> "
+                f"{len(rung.survivors)} survivor(s), spent {rung.spent}"
+            )
+    else:
+        print(
+            f"evaluated {out.evaluations_used} points in {out.rounds} round(s)"
+        )
     if journal is not None:
         print(
             f"journal: {journal.reused} restored, {journal.executed} executed"
@@ -1112,25 +1177,60 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             rows.append((f"{target}: sweep --verify", ok, detail))
         sections["engine"] = rows
 
-        # pillar 3: golden regression corpus
+        # pillar 3: golden regression corpus (+ pinned search trajectories)
         if not args.skip_golden:
             golden_path = (
                 Path(args.golden) if args.golden else V.DEFAULT_GOLDEN_PATH
             )
+            search_path = (
+                golden_path.with_name("search_trajectories.json")
+                if args.golden
+                else V.DEFAULT_SEARCH_GOLDEN_PATH
+            )
             current = V.compute_corpus()
+            search_current = V.compute_search_corpus()
             n = len(current["entries"])
+            n_search = len(search_current["entries"])
             if args.update_golden:
                 V.save_corpus(golden_path, current)
+                V.save_corpus(search_path, search_current)
                 sections["golden"] = [
-                    (f"re-pinned {n} entries -> {golden_path}", True, "")
+                    (f"re-pinned {n} entries -> {golden_path}", True, ""),
+                    (
+                        f"re-pinned {n_search} trajectories -> {search_path}",
+                        True,
+                        "",
+                    ),
                 ]
             else:
                 pinned = V.load_corpus(golden_path)
                 diff = V.diff_corpus(pinned, current)
                 drift = V.format_drift(diff, pinned, current)
-                sections["golden"] = [(drift.splitlines()[0], diff.clean, "")]
+                search_pinned = V.load_corpus(search_path)
+                search_diff = V.diff_corpus(
+                    search_pinned,
+                    search_current,
+                    fields=V.SEARCH_COMPARED_FIELDS,
+                )
+                search_drift = V.format_drift(
+                    search_diff, search_pinned, search_current
+                )
+                sections["golden"] = [
+                    (drift.splitlines()[0], diff.clean, ""),
+                    (
+                        "search trajectories: "
+                        + search_drift.splitlines()[0].removeprefix(
+                            "golden corpus"
+                        ).lstrip(": "),
+                        search_diff.clean,
+                        "",
+                    ),
+                ]
                 if not diff.clean:
                     print(drift)
+                    print()
+                if not search_diff.clean:
+                    print(search_drift)
                     print()
     print(verify_table(sections))
     _report_obs(session)
@@ -1180,7 +1280,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .perf import compare, format_report, load_report, run_benchmarks, save_report
 
-    only = args.only.split(",") if args.only else None
+    only = None
+    if args.only is not None:
+        # strip + reject empties here so `--only ""` or `--only a,,b`
+        # errors instead of silently running everything / nothing;
+        # unknown names are rejected by run_benchmarks with the valid
+        # list in the message
+        only = [token.strip() for token in args.only.split(",")]
+        only = [token for token in only if token]
+        if not only:
+            raise ReproError(
+                f"bad --only {args.only!r}: expected a comma-separated "
+                "list of benchmark names"
+            )
     baseline = None
     baseline_path = args.baseline
     if not args.no_compare:

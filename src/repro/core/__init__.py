@@ -62,6 +62,12 @@ from .scheduler import (
     ThreadExecutor,
     make_executor,
 )
+from .search import (
+    LowFidelityScorer,
+    SearchResult,
+    SearchRung,
+    multifidelity_search,
+)
 from .sweep import ParameterSweep, best_configuration, explore
 from .validate import validate_solution
 
@@ -105,6 +111,10 @@ __all__ = [
     "validate_solution",
     "autotune",
     "AutotuneResult",
+    "multifidelity_search",
+    "SearchResult",
+    "SearchRung",
+    "LowFidelityScorer",
     "save_results",
     "load_results",
     "compare_results",

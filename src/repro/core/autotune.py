@@ -98,6 +98,9 @@ def autotune(
         raise SweepError(f"unknown axes {sorted(unknown)}")
     if not axes:
         raise SweepError("autotune needs at least one axis")
+    for name, values in axes.items():
+        if not values:
+            raise SweepError(f"axis {name!r} has no values")
 
     scheduler = CampaignScheduler(
         runner,

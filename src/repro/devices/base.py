@@ -230,6 +230,11 @@ def _reuse_window(
 class DeviceModel(abc.ABC):
     """Abstract performance model of one target device."""
 
+    #: Whether the model can score a launch analytically without executing
+    #: it (the multi-fidelity searcher's low-fidelity tier). Subclasses
+    #: whose timing depends on executed state must opt out.
+    supports_lowfi: bool = True
+
     def __init__(self, spec: "object"):
         self.spec = spec
         # Plan-cache hook: campaign caches (repro.ocl.program.BuildCache)
@@ -287,6 +292,15 @@ class DeviceModel(abc.ABC):
     @abc.abstractmethod
     def kernel_timing(self, plan: ExecutionPlan, launch: Launch) -> KernelTiming:
         """Time one launch of a built kernel."""
+
+    def score_launch(self, plan: ExecutionPlan, launch: Launch) -> float:
+        """Modelled seconds for one launch — the low-fidelity score.
+
+        Pure analytic prediction: nothing is executed, no arrays exist.
+        The multi-fidelity searcher ranks the whole candidate pool with
+        this before spending any measured evaluations.
+        """
+        return self.kernel_timing(plan, launch).total_s
 
     @abc.abstractmethod
     def transfer_time(self, nbytes: int, direction: str) -> float:

@@ -27,6 +27,9 @@ Benchmarks:
   split (generate/compile/plan/execute) from ``detail['engine']``.
 * ``sweep_throughput`` — a small cartesian sweep, reported as
   points/second.
+* ``search_efficiency`` — multi-fidelity search vs the exhaustive sweep
+  on the same grid; the gated ratio is grid points per measured
+  evaluation, and the search must find the sweep's optimum.
 """
 
 from __future__ import annotations
@@ -361,6 +364,87 @@ def bench_sweep_throughput(quick: bool) -> dict[str, object]:
     return entry
 
 
+# -- model-guided search -------------------------------------------------------
+
+
+def bench_search_efficiency(quick: bool) -> dict[str, object]:
+    """Multi-fidelity search vs the exhaustive sweep it replaces.
+
+    Runs :func:`~repro.core.search.multifidelity_search` and
+    :func:`~repro.core.sweep.explore` over the same grid on a shared
+    runner (both ride the same caches) and reports both wall times —
+    but the *gated* ``speedup`` is the deterministic evaluation ratio
+    ``pool / spent``: how many grid points each measured evaluation
+    stood in for. That number cannot be moved by machine noise, only by
+    a searcher change that starts spending more budget. The search must
+    also find the exhaustive optimum (same fingerprint or equal
+    bandwidth), else the benchmark raises — a faster search that finds
+    a worse point is a regression, not a win.
+    """
+    from ..core import LoopManagement, multifidelity_search
+
+    base = TuningParameters(
+        kernel=KernelName.TRIAD,
+        dtype=DataType.FLOAT,
+        array_bytes=64 * 1024,
+    )
+    axes: dict[str, list[object]] = {
+        "kernel": [KernelName.COPY, KernelName.TRIAD],
+        "loop": list(LoopManagement),
+        "vector_width": [1, 2, 4, 8, 16],
+        "unroll": [1, 2, 4],
+    }
+    budget = 6
+    sweep = ParameterSweep(base=base, axes=axes)
+
+    search_walls: list[float] = []
+    sweep_walls: list[float] = []
+    spent = pool = 0
+
+    repeats = 2 if quick else 3
+    for _ in range(repeats):
+        runner = BenchmarkRunner("cpu", ntimes=1)
+        t0 = time.perf_counter()
+        out = multifidelity_search(runner, axes, seed=base, budget=budget)
+        search_walls.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        grid = explore(runner, sweep)
+        sweep_walls.append(time.perf_counter() - t0)
+        spent, pool = out.spent, out.pool_size
+        grid_best = grid.best()
+        if grid_best is None or not out.best.ok:
+            raise InvalidValueError("search benchmark produced failing points")
+        same = out.best.fingerprint() == grid_best.fingerprint()
+        if not same and out.best.bandwidth_gbs < grid_best.bandwidth_gbs * (
+            1 - 1e-6
+        ):
+            raise InvalidValueError(
+                "search missed the exhaustive optimum: "
+                f"{out.best.params.describe()} "
+                f"({out.best.bandwidth_gbs:.6f} GB/s) vs "
+                f"{grid_best.params.describe()} "
+                f"({grid_best.bandwidth_gbs:.6f} GB/s)"
+            )
+
+    entry: dict[str, object] = {
+        "wall_s": _stats(search_walls),
+        "scalar_s": _stats(sweep_walls),
+        # grid points per measured evaluation — deterministic, gated
+        "speedup": pool / max(1, spent),
+    }
+    entry["throughput"] = {
+        "value": spent / entry["wall_s"]["median_s"],  # type: ignore[index]
+        "unit": "evals/s",
+    }
+    entry["detail"] = {
+        "pool": pool,
+        "grid": len(sweep),
+        "budget": budget,
+        "spent": spent,
+    }
+    return entry
+
+
 # -- observability overhead ----------------------------------------------------
 
 
@@ -425,6 +509,7 @@ BENCHMARKS: dict[str, Callable[[bool], dict[str, object]]] = {
     "ndrange": bench_ndrange,
     "engine_stages": bench_engine_stages,
     "sweep_throughput": bench_sweep_throughput,
+    "search_efficiency": bench_search_efficiency,
     "obs_overhead": bench_obs_overhead,
 }
 

@@ -41,13 +41,17 @@ from .conformance import (
 )
 from .golden import (
     DEFAULT_GOLDEN_PATH,
+    DEFAULT_SEARCH_GOLDEN_PATH,
+    SEARCH_COMPARED_FIELDS,
     CorpusDiff,
     compute_corpus,
+    compute_search_corpus,
     corpus_grid,
     diff_corpus,
     format_drift,
     load_corpus,
     save_corpus,
+    search_scenarios,
 )
 from .metamorphic import LawReport, Violation, check_all
 from .tolerance import (
@@ -80,8 +84,12 @@ __all__ = [
     "check_all",
     "CorpusDiff",
     "DEFAULT_GOLDEN_PATH",
+    "DEFAULT_SEARCH_GOLDEN_PATH",
+    "SEARCH_COMPARED_FIELDS",
     "corpus_grid",
     "compute_corpus",
+    "search_scenarios",
+    "compute_search_corpus",
     "load_corpus",
     "save_corpus",
     "diff_corpus",

@@ -32,9 +32,13 @@ from .conformance import interpret_point, output_checksum
 __all__ = [
     "GOLDEN_SCHEMA",
     "DEFAULT_GOLDEN_PATH",
+    "DEFAULT_SEARCH_GOLDEN_PATH",
+    "SEARCH_COMPARED_FIELDS",
     "CorpusDiff",
     "corpus_grid",
     "compute_corpus",
+    "search_scenarios",
+    "compute_search_corpus",
     "load_corpus",
     "save_corpus",
     "diff_corpus",
@@ -46,10 +50,25 @@ GOLDEN_SCHEMA = 1
 #: repo-relative home of the checked-in corpus
 DEFAULT_GOLDEN_PATH = Path("tests") / "golden" / "corpus.json"
 
+#: repo-relative home of the pinned search trajectories
+DEFAULT_SEARCH_GOLDEN_PATH = Path("tests") / "golden" / "search_trajectories.json"
+
 CORPUS_TARGETS = ("cpu", "gpu", "aocl", "sdaccel")
 
 #: fields compared by :func:`diff_corpus`, in report order
 _COMPARED_FIELDS = ("params", "result_sha", "output_sha", "bandwidth_gbs", "failure_kind")
+
+#: fields compared for search-trajectory entries
+SEARCH_COMPARED_FIELDS = (
+    "params",
+    "budget",
+    "pool",
+    "spent",
+    "rung_fingerprints",
+    "trajectory_sha",
+    "best_params",
+    "bandwidth_gbs",
+)
 
 
 def corpus_grid(
@@ -124,6 +143,107 @@ def compute_corpus(
     return {"schema": GOLDEN_SCHEMA, "entries": dict(sorted(entries.items()))}
 
 
+def search_scenarios(
+    targets: Sequence[str] = CORPUS_TARGETS,
+    *,
+    array_bytes: int = 64 * 1024,
+) -> list[dict]:
+    """The pinned (target, axes, budget) search scenarios.
+
+    One scenario per target over the small halving grid the scheduler
+    and chaos suites also use — large enough for a model rung, two
+    measured rungs, and a refinement step; small enough to run in
+    seconds.
+    """
+    from ..core.params import LoopManagement
+
+    axes = {
+        "loop": [LoopManagement.FLAT, LoopManagement.NESTED, LoopManagement.NDRANGE],
+        "vector_width": [1, 2, 4, 8],
+        "unroll": [1, 2],
+    }
+    return [
+        {
+            "target": target,
+            "axes": axes,
+            "array_bytes": array_bytes,
+            "budget": 6,
+            "eta": 2,
+        }
+        for target in targets
+    ]
+
+
+def _scenario_key(scenario: dict) -> str:
+    """Stable identity for one search scenario (its pinned inputs)."""
+    axes_doc = {
+        name: [getattr(v, "value", v) for v in values]
+        for name, values in scenario["axes"].items()
+    }
+    blob = json.dumps(
+        {
+            "target": scenario["target"],
+            "axes": axes_doc,
+            "array_bytes": scenario["array_bytes"],
+            "budget": scenario["budget"],
+            "eta": scenario["eta"],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def compute_search_corpus(
+    scenarios: Sequence[dict] | None = None,
+    *,
+    ntimes: int = 2,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the pinned search scenarios and collect current trajectories.
+
+    Each entry pins the rung-by-rung fingerprints of one multi-fidelity
+    search — any model/generator/searcher change that shifts a
+    trajectory diffs field-by-field against this, so drift is *named*
+    (which scenario, which rung count, which optimum) rather than just
+    failed.
+    """
+    from ..core.search import multifidelity_search
+
+    if scenarios is None:
+        scenarios = search_scenarios()
+    entries: dict[str, dict] = {}
+    for scenario in scenarios:
+        target = scenario["target"]
+        runner = BenchmarkRunner(target, ntimes=ntimes)
+        seed = TuningParameters(array_bytes=scenario["array_bytes"])
+        out = multifidelity_search(
+            runner,
+            scenario["axes"],
+            seed=seed,
+            budget=scenario["budget"],
+            eta=scenario["eta"],
+        )
+        axes_desc = ",".join(
+            f"{name}[{len(values)}]" for name, values in scenario["axes"].items()
+        )
+        entries[_scenario_key(scenario)] = {
+            "target": target,
+            "params": f"{axes_desc} budget={scenario['budget']} "
+            f"eta={scenario['eta']} {scenario['array_bytes']}B",
+            "budget": scenario["budget"],
+            "pool": out.pool_size,
+            "spent": out.spent,
+            "rung_fingerprints": out.rung_fingerprints(),
+            "trajectory_sha": out.trajectory_fingerprint(),
+            "best_params": out.best.params.describe(),
+            "bandwidth_gbs": round(out.best.bandwidth_gbs, 6),
+        }
+        if progress is not None:
+            progress(f"search golden: {target} {axes_desc}")
+    return {"schema": GOLDEN_SCHEMA, "entries": dict(sorted(entries.items()))}
+
+
 def load_corpus(path: Path | str) -> dict:
     """Read a corpus document, validating its schema tag."""
     path = Path(path)
@@ -169,21 +289,28 @@ class CorpusDiff:
         return not (self.added or self.removed or self.changed)
 
 
-def diff_corpus(old: dict, new: dict) -> CorpusDiff:
-    """Compare two corpus documents field by field."""
+def diff_corpus(
+    old: dict, new: dict, *, fields: Sequence[str] = _COMPARED_FIELDS
+) -> CorpusDiff:
+    """Compare two corpus documents field by field.
+
+    ``fields`` selects the compared entry fields (report order) — the
+    run-result corpus and the search-trajectory corpus pin different
+    shapes but share the diff/drift machinery.
+    """
     old_entries = old.get("entries", {})
     new_entries = new.get("entries", {})
     added = tuple(sorted(set(new_entries) - set(old_entries)))
     removed = tuple(sorted(set(old_entries) - set(new_entries)))
     changed: dict[str, list[tuple[str, object, object]]] = {}
     for key in sorted(set(old_entries) & set(new_entries)):
-        fields = [
+        drifted = [
             (name, old_entries[key].get(name), new_entries[key].get(name))
-            for name in _COMPARED_FIELDS
+            for name in fields
             if old_entries[key].get(name) != new_entries[key].get(name)
         ]
-        if fields:
-            changed[key] = fields
+        if drifted:
+            changed[key] = drifted
     return CorpusDiff(added=added, removed=removed, changed=changed)
 
 

@@ -196,6 +196,56 @@ class TestExtendedCommands:
         )
         assert code == 0
 
+    def test_autotune_multifidelity_strategy(self, capsys):
+        code = main(
+            [
+                "autotune",
+                "--target",
+                "cpu",
+                "--size",
+                "64KiB",
+                "--strategy",
+                "multifidelity",
+                "--budget",
+                "6",
+                "--ntimes",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        # the multi-fidelity report leads with pool accounting and the
+        # trajectory hash, then one line per rung
+        assert "pool points" in out and "trajectory" in out
+        assert "rung 0 [model]" in out
+
+    def test_autotune_rejects_zero_budget(self, capsys):
+        code = main(
+            ["autotune", "--target", "cpu", "--size", "64KiB",
+             "--strategy", "multifidelity", "--budget", "0"]
+        )
+        assert code == 2
+        assert "budget must be >= 1" in capsys.readouterr().err
+
+    def test_autotune_rejects_empty_axis(self, capsys):
+        # `--axis vector_width=` must exit 2 with a message, not dump
+        # a traceback from deep inside the sweep machinery
+        code = main(
+            ["autotune", "--target", "cpu", "--size", "64KiB",
+             "--axis", "vector_width="]
+        )
+        assert code == 2
+        assert "has no values" in capsys.readouterr().err
+
+    def test_autotune_rejects_unparseable_axis_value(self, capsys):
+        code = main(
+            ["autotune", "--target", "cpu", "--size", "64KiB",
+             "--axis", "vector_width=banana"]
+        )
+        assert code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
     def test_energy(self, capsys):
         code = main(
             ["energy", "--target", "aocl", "--size", "256KiB", "--vec", "8",
@@ -501,6 +551,20 @@ class TestBenchCommand:
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().out
 
-    def test_bench_rejects_unknown_benchmark(self):
+    def test_bench_rejects_unknown_benchmark(self, capsys):
         code = main(["bench", "--quick", "--only", "nope"])
-        assert code != 0
+        assert code == 2
+        err = capsys.readouterr().err
+        # the error must name the offender *and* list the valid menu,
+        # or a typo'd CI invocation is undebuggable from the log alone
+        assert "nope" in err
+        assert "engine_stages" in err and "search_efficiency" in err
+
+    def test_bench_rejects_empty_only(self, capsys):
+        # `--only ""` (and all-comma variants) must error, not silently
+        # fall back to running the full suite
+        code = main(["bench", "--quick", "--only", ""])
+        assert code == 2
+        assert "expected a comma-separated list" in capsys.readouterr().err
+        code = main(["bench", "--quick", "--only", ",,"])
+        assert code == 2

@@ -383,3 +383,75 @@ class TestAutotuneThroughScheduler:
         assert resumed.trajectory == first.trajectory
         assert resumed.best.fingerprint() == first.best.fingerprint()
         assert resumed.evaluations_used == first.evaluations_used
+
+
+class TestSearchThroughScheduler:
+    """Multi-fidelity search as a scheduler client: every rung is a
+    scheduler batch, so its trajectory must be bit-identical whichever
+    backend measured it, under injected faults, and across resume."""
+
+    AXES = {
+        "loop": list(LoopManagement),
+        "vector_width": [1, 2, 4, 8],
+        "unroll": [1, 2],
+    }
+
+    def _seed(self) -> TuningParameters:
+        return TuningParameters(array_bytes=64 * KIB)
+
+    def _search(self, runner, **kw):
+        from repro.core import multifidelity_search
+
+        return multifidelity_search(
+            runner, self.AXES, seed=self._seed(), budget=6, **kw
+        )
+
+    def test_trajectory_identical_across_backends(self):
+        serial = self._search(BenchmarkRunner("aocl", ntimes=1))
+        threaded = self._search(
+            BenchmarkRunner("aocl", ntimes=1), jobs=3, backend="thread"
+        )
+        process = self._search(
+            BenchmarkRunner("aocl", ntimes=1), jobs=2, backend="process"
+        )
+        assert (
+            serial.trajectory_fingerprint()
+            == threaded.trajectory_fingerprint()
+            == process.trajectory_fingerprint()
+        )
+        assert serial.rung_fingerprints() == process.rung_fingerprints()
+        assert serial.best.fingerprint() == threaded.best.fingerprint()
+        assert serial.best.fingerprint() == process.best.fingerprint()
+        assert serial.spent == threaded.spent == process.spent
+
+    def test_trajectory_identical_under_injected_faults(self):
+        """Crash-killed workers and transient compile faults requeue/
+        retry inside the scheduler; the search trajectory cannot see
+        them."""
+        clean = self._search(BenchmarkRunner("aocl", ntimes=1))
+        faults = FaultPlan.parse("worker_crash=0.4,compile=0.3,seed=5")
+        faulty = self._search(
+            BenchmarkRunner("aocl", ntimes=1, faults=faults),
+            jobs=2,
+            backend="process",
+            max_worker_restarts=3,
+        )
+        assert faulty.trajectory_fingerprint() == clean.trajectory_fingerprint()
+        assert faulty.rung_fingerprints() == clean.rung_fingerprints()
+        assert faulty.best.fingerprint() == clean.best.fingerprint()
+
+    def test_journal_resume_replays_trajectory(self, tmp_path):
+        journal_path = tmp_path / "search.jsonl"
+        first = self._search(
+            BenchmarkRunner("aocl", ntimes=1), journal=journal_path
+        )
+        journal = SweepJournal(journal_path)
+        resumed = self._search(
+            BenchmarkRunner("aocl", ntimes=1), journal=journal, resume=True
+        )
+        assert journal.reused == first.spent
+        assert journal.executed == 0  # nothing re-ran
+        assert resumed.trajectory_fingerprint() == first.trajectory_fingerprint()
+        assert resumed.rung_fingerprints() == first.rung_fingerprints()
+        assert resumed.best.fingerprint() == first.best.fingerprint()
+        assert resumed.spent == first.spent

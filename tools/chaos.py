@@ -79,7 +79,9 @@ __all__ = [
     "main",
     "run_autotune_chaos",
     "run_chaos",
+    "run_search_chaos",
     "run_uninterrupted",
+    "search_child_argv",
     "strip_journal_faults",
 ]
 
@@ -625,11 +627,150 @@ def run_autotune_chaos(
             tmp.cleanup()
 
 
+def search_child_argv(
+    journal: str | Path,
+    *,
+    target: str = DEFAULT_TARGET,
+    size: str = DEFAULT_SIZE,
+    ntimes: int = DEFAULT_NTIMES,
+    axes: dict | None = None,
+    backend: str = "process",
+    jobs: int = 2,
+    budget: int = 8,
+) -> list[str]:
+    """``mp-stream autotune --strategy multifidelity`` for the chaos child."""
+    argv = autotune_child_argv(
+        journal,
+        target=target,
+        size=size,
+        ntimes=ntimes,
+        axes=axes,
+        backend=backend,
+        jobs=jobs,
+        budget=budget,
+    )
+    return argv + ["--strategy", "multifidelity"]
+
+
+def run_search_chaos(
+    *,
+    backend: str = "process",
+    jobs: int = 2,
+    target: str = DEFAULT_TARGET,
+    size: str = DEFAULT_SIZE,
+    ntimes: int = DEFAULT_NTIMES,
+    axes: dict | None = None,
+    budget: int = 8,
+    kill_at: int = DEFAULT_KILL_AT,
+    timeout: float = 120.0,
+    workdir: str | Path | None = None,
+) -> ChaosOutcome:
+    """Kill a multi-fidelity search mid-rung, then resume from the journal.
+
+    The searcher's invariant: restored evaluations count against the
+    budget, so the resumed search walks the identical rung-by-rung
+    trajectory — pinned here as the list of rung fingerprints plus the
+    overall trajectory hash and winning point.
+    """
+    from repro.core import multifidelity_search
+
+    axes = axes or DEFAULT_AXES
+
+    def run_search(journal: SweepJournal | None) -> list[str]:
+        seed = TuningParameters(array_bytes=parse_size(size))
+        out = multifidelity_search(
+            BenchmarkRunner(target, ntimes=ntimes),
+            axes,
+            seed=seed,
+            budget=budget,
+            backend=backend,
+            jobs=jobs,
+            journal=journal,
+            resume=journal is not None,
+        )
+        return out.rung_fingerprints() + [
+            out.trajectory_fingerprint(),
+            out.best.fingerprint(),
+        ]
+
+    import tempfile
+
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="mp-stream-chaos-")
+        workdir = tmp.name
+    journal = Path(workdir) / f"chaos-search-{backend}.jsonl"
+
+    try:
+        baseline = run_search(None)
+        argv = search_child_argv(
+            journal,
+            target=target,
+            size=size,
+            ntimes=ntimes,
+            axes=axes,
+            backend=backend,
+            jobs=jobs,
+            budget=budget,
+        )
+        returncode, interrupted, records_at = _run_child(
+            argv, journal, mode="kill", kill_at=kill_at, timeout=timeout
+        )
+
+        notes: list[str] = []
+        if not interrupted:
+            notes.append(
+                f"search was never interrupted (returncode {returncode})"
+            )
+        elif returncode != -signal.SIGKILL:
+            notes.append(f"search exited {returncode}, expected -SIGKILL")
+
+        report = None
+        resumed: list[str] = []
+        restored = 0
+        if journal.exists():
+            report = fsck_journal(journal)
+            if report.corrupt or report.stale:
+                notes.append(
+                    f"crash left {report.corrupt} corrupt / {report.stale} "
+                    "stale record(s)"
+                )
+            resume_journal = SweepJournal(journal)
+            resumed = run_search(resume_journal)
+            restored = resume_journal.reused
+            if restored == 0:
+                notes.append("resume restored nothing from the journal")
+            if resumed != baseline:
+                notes.append(
+                    "resumed search trajectory differs from the "
+                    "uninterrupted run"
+                )
+        else:
+            notes.append(f"search never created the journal {journal}")
+
+        return ChaosOutcome(
+            mode="search-kill",
+            backend=backend,
+            interrupted=interrupted,
+            returncode=returncode,
+            records_at_interrupt=records_at,
+            restored=restored,
+            fsck=report,
+            baseline=baseline,
+            resumed=resumed,
+            notes=notes,
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="kill a real campaign mid-sweep and verify lossless resume"
     )
-    parser.add_argument("--mode", choices=("kill", "term", "torn", "autotune"),
+    parser.add_argument("--mode",
+                        choices=("kill", "term", "torn", "autotune", "search"),
                         default="kill")
     parser.add_argument("--backend", default="serial",
                         choices=("serial", "thread", "process"))
@@ -649,6 +790,16 @@ def main(argv: list[str] | None = None) -> int:
     jobs = args.jobs if args.backend != "serial" else 1
     if args.mode == "autotune":
         outcome = run_autotune_chaos(
+            backend=args.backend,
+            jobs=jobs,
+            target=args.target,
+            size=args.size,
+            ntimes=args.ntimes,
+            kill_at=args.kill_at,
+            timeout=args.timeout,
+        )
+    elif args.mode == "search":
+        outcome = run_search_chaos(
             backend=args.backend,
             jobs=jobs,
             target=args.target,
